@@ -1,0 +1,56 @@
+"""Figure 6: epoch sampling time vs batch size (GraphSAGE, LADIES on PD).
+
+The paper's curve falls steeply and then flattens: small batches leave
+the GPU under-occupied, so an epoch of many small batches costs far more
+than the same epoch in large batches.  We sweep batch sizes and assert
+the monotone-then-flat shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import make_system
+from repro.bench import format_table, run_sampling_epoch
+from repro.datasets import load_dataset
+from repro.device import V100
+
+from benchmarks.conftest import BENCH_SCALE
+
+BATCH_SIZES = (64, 128, 256, 512, 1024)
+
+
+def _sweep(algorithm: str) -> dict[int, float]:
+    ds = load_dataset("pd", scale=BENCH_SCALE)
+    system = make_system("gsampler")
+    times = {}
+    for batch in BATCH_SIZES:
+        stats = run_sampling_epoch(
+            system,
+            algorithm,
+            ds,
+            device=V100,
+            batch_size=batch,
+            superbatch=1,  # isolate the batch-size effect, as Figure 6 does
+        )
+        times[batch] = stats.sim_seconds
+    return times
+
+
+@pytest.mark.parametrize("algorithm", ["graphsage", "ladies"])
+def test_fig6_epoch_time_vs_batch_size(benchmark, report, algorithm):
+    times = benchmark.pedantic(_sweep, args=(algorithm,), rounds=1, iterations=1)
+    report(
+        f"fig6_{algorithm}",
+        format_table(
+            ["Batch size", "Epoch sampling time (ms)"],
+            [[b, f"{t * 1e3:.3f}"] for b, t in times.items()],
+            title=f"Figure 6: epoch time vs batch size — {algorithm} on PD",
+        ),
+    )
+    # Shape: epoch time decreases (or flattens) as batch size grows, and
+    # the smallest batch is substantially slower than the largest.
+    values = [times[b] for b in BATCH_SIZES]
+    assert values[0] > 1.5 * values[-1]
+    for a, b in zip(values, values[1:]):
+        assert b <= a * 1.15  # monotone within tolerance

@@ -1,0 +1,80 @@
+"""Figure 7: normalized sampling time, simple algorithms, all systems.
+
+The paper compares gSampler against DGL (GPU/CPU), PyG (GPU/CPU),
+SkyWalker, GunRock, and cuGraph on DeepWalk, Node2Vec, and GraphSAGE
+across LJ/PD/PP/FS, normalizing gSampler to 1.0.  Missing bars (N/A) mark
+unsupported combinations; our capability matrix reproduces them exactly.
+
+Shape to preserve: gSampler is fastest everywhere; vertex-centric systems
+are the strongest baselines for walks; cuGraph trails badly; CPU rows are
+orders of magnitude slower.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import SIMPLE
+from repro.baselines import FIGURE7_SYSTEMS
+from repro.bench import format_table, measure_cell
+
+from benchmarks.conftest import BENCH_SCALE, MAX_BATCHES
+
+DATASETS = ("lj", "pd", "pp", "fs")
+
+
+def _row(algorithm: str, dataset: str) -> dict[str, float | None]:
+    out: dict[str, float | None] = {}
+    for system in FIGURE7_SYSTEMS:
+        stats = measure_cell(
+            system,
+            algorithm,
+            dataset,
+            scale=BENCH_SCALE,
+            max_batches=MAX_BATCHES,
+            batch_size=512,
+        )
+        out[system] = None if stats is None else stats.sim_seconds
+    return out
+
+
+@pytest.mark.parametrize("algorithm", SIMPLE)
+def test_fig7_simple_algorithms(benchmark, report, algorithm):
+    rows = benchmark.pedantic(
+        lambda: {ds: _row(algorithm, ds) for ds in DATASETS},
+        rounds=1,
+        iterations=1,
+    )
+    table = []
+    for ds, row in rows.items():
+        ref = row["gsampler"]
+        assert ref is not None
+        cells = [
+            "N/A" if v is None else f"{v / ref:.2f}x" for v in row.values()
+        ]
+        table.append([ds.upper(), *cells])
+    report(
+        f"fig7_{algorithm}",
+        format_table(
+            ["Graph", *FIGURE7_SYSTEMS],
+            table,
+            title=f"Figure 7: normalized sampling time — {algorithm} "
+            "(gSampler = 1.0)",
+        ),
+    )
+    for ds, row in rows.items():
+        ref = row["gsampler"]
+        supported = {k: v for k, v in row.items() if v is not None}
+        # gSampler wins every supported cell.
+        assert ref == min(supported.values()), (algorithm, ds)
+        # CPU sampling is dramatically slower than gSampler.
+        if "pyg-cpu" in supported:
+            assert supported["pyg-cpu"] > 5 * ref
+
+    # Capability matrix (the N/A pattern of Figure 7).
+    if algorithm == "graphsage":
+        assert rows["pp"]["gunrock"] is None  # no UVA
+        assert rows["pp"]["cugraph"] is None  # cannot load host graphs
+        assert rows["lj"]["pyg-gpu"] is None  # PyG GPU only does DeepWalk
+    if algorithm == "node2vec":
+        assert rows["lj"]["dgl-gpu"] is None  # no GPU Node2Vec in DGL

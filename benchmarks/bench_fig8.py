@@ -1,0 +1,69 @@
+"""Figure 8: normalized sampling time, complex algorithms.
+
+LADIES, AS-GCN, PASS, and ShaDow across the four graphs, against DGL
+(GPU/CPU) and PyG (CPU, ShaDow only).  The vertex-centric systems cannot
+express these algorithms at all — gSampler is the only system running
+all of them on GPU, which is the paper's generality headline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import COMPLEX
+from repro.baselines import FIGURE8_SYSTEMS
+from repro.bench import format_table, measure_cell
+
+from benchmarks.conftest import BENCH_SCALE, MAX_BATCHES
+
+DATASETS = ("lj", "pd", "pp", "fs")
+
+
+def _row(algorithm: str, dataset: str) -> dict[str, float | None]:
+    out: dict[str, float | None] = {}
+    for system in FIGURE8_SYSTEMS:
+        stats = measure_cell(
+            system,
+            algorithm,
+            dataset,
+            scale=BENCH_SCALE,
+            max_batches=MAX_BATCHES,
+            batch_size=512,
+        )
+        out[system] = None if stats is None else stats.sim_seconds
+    return out
+
+
+@pytest.mark.parametrize("algorithm", COMPLEX)
+def test_fig8_complex_algorithms(benchmark, report, algorithm):
+    rows = benchmark.pedantic(
+        lambda: {ds: _row(algorithm, ds) for ds in DATASETS},
+        rounds=1,
+        iterations=1,
+    )
+    table = []
+    for ds, row in rows.items():
+        ref = row["gsampler"]
+        cells = ["N/A" if v is None else f"{v / ref:.2f}x" for v in row.values()]
+        table.append([ds.upper(), *cells])
+    report(
+        f"fig8_{algorithm}",
+        format_table(
+            ["Graph", *FIGURE8_SYSTEMS],
+            table,
+            title=f"Figure 8: normalized sampling time — {algorithm} "
+            "(gSampler = 1.0)",
+        ),
+    )
+    for ds, row in rows.items():
+        supported = {k: v for k, v in row.items() if v is not None}
+        assert row["gsampler"] == min(supported.values()), (algorithm, ds)
+        # DGL-GPU runs everything (hand-implemented per the paper) and
+        # still loses to gSampler.
+        assert row["dgl-gpu"] is not None
+        assert row["dgl-gpu"] > row["gsampler"]
+    # PyG's only complex-algorithm support is CPU ShaDow.
+    if algorithm == "shadow":
+        assert rows["pd"]["pyg-cpu"] is not None
+    else:
+        assert all(rows[ds]["pyg-cpu"] is None for ds in DATASETS)

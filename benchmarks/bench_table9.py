@@ -1,0 +1,78 @@
+"""Table 9: GPU resource consumption — extra memory and SM utilization.
+
+Paper (PD graph, gSampler vs DGL):
+
+    LADIES  1.83 GB / 94.2%  vs  0.19 GB / 37.4%
+    AS-GCN  0.07 GB / 36.0%  vs  0.14 GB / 22.1%
+    PASS    0.17 GB / 56.6%  vs  3.04 GB / 25.3%
+    ShaDow  1.65 GB / 98.0%  vs  2.26 GB / 46.4%
+
+Shapes to preserve: gSampler's SM utilization beats DGL's on every
+algorithm (the paper reports 1.62-2.52x), and for the fusion-friendly
+algorithms its memory footprint is smaller, while super-batched LADIES
+trades extra memory for utilization.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import DGLLike, GSamplerSystem
+from repro.bench import format_table, run_sampling_epoch
+from repro.datasets import load_dataset
+from repro.device import V100
+
+from benchmarks.conftest import BENCH_SCALE, MAX_BATCHES
+
+ALGORITHMS = ("ladies", "asgcn", "pass", "shadow")
+
+
+def _consumption() -> dict[str, dict[str, tuple[float, float]]]:
+    ds = load_dataset("pd", scale=BENCH_SCALE)
+    out: dict[str, dict[str, tuple[float, float]]] = {}
+    for algo in ALGORITHMS:
+        row = {}
+        for label, system in (
+            ("gSampler", GSamplerSystem()),
+            ("DGL", DGLLike("gpu")),
+        ):
+            stats = run_sampling_epoch(
+                system, algo, ds, device=V100,
+                batch_size=512, max_batches=MAX_BATCHES,
+            )
+            row[label] = (stats.peak_memory_bytes, stats.sm_percent)
+        out[algo] = row
+    return out
+
+
+def test_table9_resource_consumption(benchmark, report):
+    data = benchmark.pedantic(_consumption, rounds=1, iterations=1)
+    rows = []
+    for algo, row in data.items():
+        for system, (mem, sm) in row.items():
+            rows.append([algo, system, f"{mem / 2**20:.2f}", f"{sm:.1f}"])
+    report(
+        "table9_resources",
+        format_table(
+            ["Algorithm", "System", "Memory (MiB)", "SM (%)"],
+            rows,
+            title="Table 9: GPU resource consumption on PD",
+        ),
+    )
+    gs_sms, dgl_sms = [], []
+    for algo, row in data.items():
+        _gs_mem, gs_sm = row["gSampler"]
+        _dgl_mem, dgl_sm = row["DGL"]
+        gs_sms.append(gs_sm)
+        dgl_sms.append(dgl_sm)
+        # gSampler's holistic execution reaches at least comparable
+        # occupancy per algorithm (PASS is excluded from super-batching,
+        # so its gap is small at this scale)...
+        assert gs_sm > 0.85 * dgl_sm, algo
+    # ...and clearly higher occupancy overall (paper: 1.62-2.52x).
+    import numpy as np
+    assert np.mean(gs_sms) > 1.3 * np.mean(dgl_sms)
+    # Fusion shrinks gSampler's footprint on the fusion-friendly
+    # algorithms (paper: PASS uses 5.6% of DGL's memory).
+    assert data["pass"]["gSampler"][0] < data["pass"]["DGL"][0]
+    assert data["shadow"]["gSampler"][0] < data["shadow"]["DGL"][0]

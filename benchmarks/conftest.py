@@ -1,0 +1,43 @@
+"""Benchmark configuration: scales, output capture, shared helpers.
+
+Every benchmark regenerates one table or figure of the paper at laptop
+scale and appends its formatted report to ``benchmarks/results/`` so the
+numbers survive the pytest run (``pytest benchmarks/ --benchmark-only -s``
+also prints them).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+#: Dataset scale used by the benchmarks (keeps a full run under minutes).
+BENCH_SCALE = 0.25
+#: Batches measured per epoch cell (the paper runs full epochs; a fixed
+#: batch count keeps cells comparable and fast).
+MAX_BATCHES = 6
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def report(results_dir):
+    """Writer: persists each experiment's table and echoes it."""
+
+    def _write(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _write
+
+
+def fmt_ms(seconds: float | None) -> str:
+    return "N/A" if seconds is None else f"{seconds * 1e3:.3f}"

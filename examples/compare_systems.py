@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Reproduce a slice of the paper's headline comparison interactively.
+
+Runs GraphSAGE and LADIES sampling epochs on the LJ and PD stand-ins
+under every system that supports them (gSampler, DGL-GPU/CPU, PyG,
+SkyWalker, GunRock, cuGraph) and prints the normalized table, N/A cells
+included — a miniature of Figures 7 and 8.
+
+Run:  python examples/compare_systems.py
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table, measure_cell
+
+SYSTEMS = (
+    "gsampler",
+    "dgl-gpu",
+    "dgl-cpu",
+    "pyg-cpu",
+    "skywalker",
+    "gunrock",
+    "cugraph",
+)
+
+
+def main() -> None:
+    for algorithm in ("graphsage", "ladies"):
+        rows = []
+        for dataset in ("lj", "pd"):
+            cells = {}
+            for system in SYSTEMS:
+                stats = measure_cell(
+                    system,
+                    algorithm,
+                    dataset,
+                    scale=0.25,
+                    max_batches=4,
+                    batch_size=512,
+                )
+                cells[system] = None if stats is None else stats.sim_seconds
+            ref = cells["gsampler"]
+            rows.append(
+                [
+                    dataset.upper(),
+                    *(
+                        "N/A" if v is None else f"{v / ref:.2f}x"
+                        for v in cells.values()
+                    ),
+                ]
+            )
+        print(
+            format_table(
+                ["Graph", *SYSTEMS],
+                rows,
+                title=f"\nNormalized sampling time — {algorithm} "
+                "(gSampler = 1.0; N/A = unsupported)",
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

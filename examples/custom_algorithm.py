@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Express a *new* sampling algorithm with the matrix-centric API.
+
+The paper's generality claim (Section 3.3) is that novel algorithms drop
+out of the same ECSF vocabulary.  This example invents one — "weighted
+layer-wise sampling with per-frontier temperature" — and shows that it
+gets traced, optimized, and super-batched without any framework changes:
+
+* extract the frontier subgraph,
+* compute per-candidate bias as (edge-weight mass) ** temperature via a
+  map + reduce that the optimizer fuses,
+* collectively sample a fixed-width layer,
+* finalize with debiased edge weights.
+
+Run:  python examples/custom_algorithm.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import compile_sampler, from_edges, new_rng
+from repro.device import ExecutionContext, V100
+
+
+def tempered_layer(A, frontiers, K, temperature):
+    """A custom layer-wise sampler: bias = (sum of edge weights) ** T."""
+    sub_A = A[:, frontiers]
+    mass = sub_A.sum(axis=0)
+    bias = mass**temperature
+    sample_A = sub_A.collective_sample(K, bias)
+    sample_A = sample_A.div(bias[sample_A.row()], axis=0)
+    return sample_A, sample_A.row()
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    n = 20_000
+    src = rng.integers(0, n, 300_000)
+    dst = rng.integers(0, n, 300_000)
+    weights = rng.random(300_000).astype(np.float32)
+    graph = from_edges(src, dst, n, weights=weights)
+
+    seeds = rng.choice(n, 256, replace=False)
+    sampler = compile_sampler(
+        tempered_layer,
+        graph,
+        seeds,
+        constants={"K": 128, "temperature": 0.75},
+    )
+    print("optimized IR for the custom algorithm:")
+    print(sampler.ir.pretty())
+    print("passes applied:", sampler.pass_log)
+
+    # Stack three layers by feeding frontiers through, like any built-in.
+    ctx = ExecutionContext(V100)
+    frontiers = seeds
+    for layer in range(3):
+        sample, frontiers = sampler.run(frontiers, ctx=ctx, rng=new_rng(layer))
+        print(
+            f"layer {layer}: {sample.shape[0]} sampled nodes, "
+            f"{sample.nnz} edges, next frontier {len(frontiers)}"
+        )
+    print(f"total simulated sampling time: {ctx.elapsed * 1e6:.1f} us")
+
+    # Super-batching works for free because the IR qualifies.
+    batches = [rng.choice(n, 256, replace=False) for _ in range(4)]
+    results = sampler.run_superbatch(batches, ctx=ExecutionContext(V100))
+    print(f"super-batched {len(results)} independent batches: "
+          f"{[m.nnz for m, _ in results]} edges each")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Heterogeneous sampling: typed relations and metapath walks.
+
+Section 4.5 of the paper: "for heterogeneous graphs, each type of edges
+is modeled as a sparse matrix to conduct the same sampling workflow as
+homogeneous graphs."  This example builds a user/item/tag graph, lifts it
+into per-relation matrices, runs a typed neighbor sampling step (the
+heterogeneous GraphSAGE layer), and walks a PinSAGE-style
+item -> user -> item metapath.
+
+Run:  python examples/heterogeneous_metapath.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import new_rng
+from repro.core.hetero import hetero_from_typed_edges
+from repro.device import ExecutionContext, V100
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    # 3000 nodes: type 0 = users, 1 = items, 2 = tags.
+    n = 3000
+    node_types = rng.integers(0, 3, n)
+    src = rng.integers(0, n, 30_000)
+    dst = rng.integers(0, n, 30_000)
+    graph = hetero_from_typed_edges(
+        node_types, src, dst, type_names=["user", "item", "tag"]
+    )
+    print("node counts:", graph.num_nodes)
+    print("relations:", [f"{s}-{e}->{d}" for s, e, d in graph.edge_types])
+
+    # Typed neighbor sampling: every relation into 'item' contributes a
+    # fanout-limited block, each in its own matrix.
+    ctx = ExecutionContext(V100)
+    frontiers = np.arange(64)
+    blocks = graph.sample_neighbors("item", frontiers, 5, rng=new_rng(0), ctx=ctx)
+    for relation, block in blocks.items():
+        print(
+            f"  {relation[0]:>4s} -> item block: shape={block.shape}, "
+            f"edges={block.nnz}"
+        )
+    print(f"typed sampling time: {ctx.elapsed * 1e6:.1f} us")
+
+    # A PinSAGE-style metapath walk: item <- user <- item.
+    metapath = [("user", "to", "item"), ("item", "to", "user")]
+    trace = graph.metapath_walk(metapath, np.arange(10), rng=new_rng(1), ctx=ctx)
+    print("\nmetapath item->user->item walk (rows = hops):")
+    print(trace)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""gSampler reproduction: general and efficient graph sampling (SOSP '23).
+
+Public API quick reference::
+
+    from repro import from_edges, compile_sampler, OptimizationConfig
+    from repro.datasets import load_dataset
+    from repro.algorithms import make_algorithm
+    from repro.device import ExecutionContext, V100
+
+    ds = load_dataset("pd")
+
+    def sage_layer(A, frontiers, K):
+        sub_A = A[:, frontiers]
+        sample_A = sub_A.individual_sample(K)
+        return sample_A, sample_A.row()
+
+    sampler = compile_sampler(
+        sage_layer, ds.graph, ds.train_ids[:1024], constants={"K": 10}
+    )
+    ctx = ExecutionContext(V100)
+    matrix, next_frontiers = sampler.run(ds.train_ids[:1024], ctx=ctx)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.core import GraphSample, Matrix, SampledLayer, from_edges, new_rng
+from repro.sampler import CompiledSampler, OptimizationConfig, compile_sampler
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompiledSampler",
+    "GraphSample",
+    "Matrix",
+    "OptimizationConfig",
+    "SampledLayer",
+    "__version__",
+    "compile_sampler",
+    "from_edges",
+    "new_rng",
+]

@@ -1,0 +1,107 @@
+"""DeepWalk: vanilla uniform random walks (Perozzi et al., KDD 2014).
+
+Table 2 row: node-wise, uniform bias, fanout 1 — "uniformly sample a
+neighbor of the frontier at each step".  The paper uses walk length 80
+following the original configuration.
+
+In the matrix API a walk step is ``A[:, frontier].individual_sample(1)``;
+gSampler's Extract-Select fusion turns that into the fused walk-step
+kernel, which is what the pipeline below launches directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms import walks
+from repro.algorithms.base import (
+    DEFAULT_WALK_LENGTH,
+    Algorithm,
+    AlgorithmInfo,
+    Pipeline,
+)
+from repro.core.matrix import Matrix
+from repro.device import NULL_CONTEXT, ExecutionContext
+from repro.sampler import OptimizationConfig
+
+
+def deepwalk_step(A, frontiers, K=1):
+    """One walk step in matrix form (the traceable ECSF layer).
+
+    With ``K=1`` GraphSAGE's layer degenerates into a random walk, as the
+    paper notes; this function exists to demonstrate that and for the
+    LoC/usability benchmark.
+    """
+    sub_A = A[:, frontiers]
+    sample_A = sub_A.individual_sample(K, replace=True)
+    return sample_A, sample_A.row()
+
+
+class DeepWalkPipeline(Pipeline):
+    """Runs whole walk batches through the fused walk-step kernel."""
+
+    supports_superbatch = True
+
+    def __init__(self, graph: Matrix, walk_length: int) -> None:
+        self.graph = graph
+        self.walk_length = walk_length
+
+    def sample_batch(
+        self,
+        seeds: np.ndarray,
+        *,
+        ctx: ExecutionContext = NULL_CONTEXT,
+        rng: np.random.Generator | None = None,
+    ) -> walks.WalkResult:
+        return walks.uniform_walk(
+            self.graph, seeds, self.walk_length, ctx=ctx, rng=rng
+        )
+
+    def sample_superbatch(
+        self,
+        seed_batches,
+        *,
+        ctx: ExecutionContext = NULL_CONTEXT,
+        rng: np.random.Generator | None = None,
+    ) -> list[walks.WalkResult]:
+        # Walks are per-walker independent: super-batching is literal
+        # concatenation, sharing every kernel launch across batches.
+        sizes = [len(b) for b in seed_batches]
+        merged = walks.uniform_walk(
+            self.graph,
+            np.concatenate([np.asarray(b) for b in seed_batches]),
+            self.walk_length,
+            ctx=ctx,
+            rng=rng,
+        )
+        out = []
+        offset = 0
+        for size in sizes:
+            out.append(walks.WalkResult(merged.trace[:, offset : offset + size]))
+            offset += size
+        return out
+
+
+class DeepWalk(Algorithm):
+    """DeepWalk algorithm factory."""
+
+    info = AlgorithmInfo(
+        name="deepwalk",
+        category="node-wise",
+        bias="uniform",
+        fanout_gt_one=False,
+        description="Vanilla random walk, uniform neighbor per step",
+    )
+
+    def __init__(self, walk_length: int = DEFAULT_WALK_LENGTH) -> None:
+        self.walk_length = walk_length
+
+    def build(
+        self,
+        graph: Matrix,
+        example_seeds: np.ndarray,
+        *,
+        features: np.ndarray | None = None,
+        config: OptimizationConfig | None = None,
+    ) -> DeepWalkPipeline:
+        return DeepWalkPipeline(graph, self.walk_length)

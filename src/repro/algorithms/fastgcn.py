@@ -1,0 +1,73 @@
+"""FastGCN: degree-based layer-wise importance sampling (Chen et al., 2018).
+
+Table 2 row: layer-wise, *static* bias — "the sampling bias of a node is
+its degree".  FastGCN's importance distribution is q(u) ∝ ||A[:, u]||²,
+which for an unweighted graph is the squared degree; because it does not
+depend on the frontiers, gSampler's pre-processing pass hoists the whole
+bias computation out of the per-batch program (Section 4.2, case 1).
+
+The sampled layer is debiased like LADIES: edge weights are divided by
+the selected nodes' bias so the layer estimator stays unbiased.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import (
+    DEFAULT_LAYER_WIDTH,
+    Algorithm,
+    AlgorithmInfo,
+    LayeredPipeline,
+    compile_layer,
+)
+from repro.core.matrix import Matrix
+from repro.sampler import OptimizationConfig
+
+
+def fastgcn_layer(A, frontiers, K):
+    """One FastGCN layer: static degree² bias, collective sample, debias."""
+    sub_A = A[:, frontiers]
+    degree = A.sum(axis=0)          # frontier-invariant: hoisted at compile
+    node_probs = degree * degree
+    sample_A = sub_A.collective_sample(K, node_probs)
+    select_probs = node_probs[sample_A.row()]
+    sample_A = sample_A.div(select_probs, axis=0)
+    return sample_A, sample_A.row()
+
+
+class FastGCN(Algorithm):
+    """FastGCN algorithm factory."""
+
+    info = AlgorithmInfo(
+        name="fastgcn",
+        category="layer-wise",
+        bias="static",
+        fanout_gt_one=True,
+        description="Layer-wise sampling biased by node degree",
+    )
+
+    def __init__(
+        self, layer_width: int = DEFAULT_LAYER_WIDTH, num_layers: int = 3
+    ) -> None:
+        self.layer_width = layer_width
+        self.num_layers = num_layers
+
+    def build(
+        self,
+        graph: Matrix,
+        example_seeds: np.ndarray,
+        *,
+        features: np.ndarray | None = None,
+        config: OptimizationConfig | None = None,
+    ) -> LayeredPipeline:
+        sampler = compile_layer(
+            fastgcn_layer,
+            graph,
+            example_seeds,
+            constants={"K": self.layer_width},
+            config=config,
+        )
+        return LayeredPipeline(
+            [sampler] * self.num_layers, supports_superbatch=True
+        )

@@ -1,0 +1,93 @@
+"""GraphSAINT random-walk sampler (Zeng et al., ICLR 2020).
+
+Table 2 row: node-wise, uniform — "conduct vanilla random walk and induce
+subgraph according to sampled nodes".  A batch of root nodes each runs a
+short walk; the union of visited nodes induces the training subgraph, and
+per-node/per-edge sampling probabilities yield the normalization
+coefficients GraphSAINT uses to debias its estimator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.algorithms import walks
+from repro.algorithms.base import Algorithm, AlgorithmInfo, Pipeline
+from repro.core import new_rng
+from repro.core.matrix import Matrix
+from repro.device import NULL_CONTEXT, ExecutionContext
+from repro.sampler import OptimizationConfig
+
+
+@dataclasses.dataclass
+class SaintSample:
+    """A GraphSAINT training subgraph with normalization weights."""
+
+    roots: np.ndarray
+    nodes: np.ndarray
+    matrix: Matrix
+    #: Per-node inclusion counts over the walk batch: the basis of
+    #: GraphSAINT's loss/aggregation normalization.
+    node_counts: np.ndarray
+
+    @property
+    def num_edges(self) -> int:
+        return self.matrix.nnz
+
+
+class GraphSAINTPipeline(Pipeline):
+    """Walk batch -> visited-node pool -> induced subgraph."""
+
+    supports_superbatch = False
+
+    def __init__(self, graph: Matrix, walk_length: int) -> None:
+        self.graph = graph
+        self.walk_length = walk_length
+
+    def sample_batch(
+        self,
+        seeds: np.ndarray,
+        *,
+        ctx: ExecutionContext = NULL_CONTEXT,
+        rng: np.random.Generator | None = None,
+    ) -> SaintSample:
+        rng = rng if rng is not None else new_rng(None)
+        result = walks.uniform_walk(
+            self.graph, seeds, self.walk_length, ctx=ctx, rng=rng
+        )
+        flat = result.trace[result.trace >= 0]
+        nodes, counts = np.unique(flat, return_counts=True)
+        induced = walks.induce_subgraph(self.graph, nodes, ctx=ctx)
+        return SaintSample(
+            roots=np.asarray(seeds),
+            nodes=nodes,
+            matrix=induced,
+            node_counts=counts,
+        )
+
+
+class GraphSAINT(Algorithm):
+    """GraphSAINT (random-walk variant) algorithm factory."""
+
+    info = AlgorithmInfo(
+        name="graphsaint",
+        category="node-wise",
+        bias="uniform",
+        fanout_gt_one=False,
+        description="Random-walk pooling plus induced training subgraph",
+    )
+
+    def __init__(self, walk_length: int = 4) -> None:
+        self.walk_length = walk_length
+
+    def build(
+        self,
+        graph: Matrix,
+        example_seeds: np.ndarray,
+        *,
+        features: np.ndarray | None = None,
+        config: OptimizationConfig | None = None,
+    ) -> GraphSAINTPipeline:
+        return GraphSAINTPipeline(graph, self.walk_length)

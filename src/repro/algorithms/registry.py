@@ -1,0 +1,72 @@
+"""Registry of the 15 surveyed sampling algorithms (paper Table 2)."""
+
+from __future__ import annotations
+
+from repro.algorithms.asgcn import ASGCN
+from repro.algorithms.bandit import GCNBS, Thanos
+from repro.algorithms.base import Algorithm
+from repro.algorithms.deepwalk import DeepWalk
+from repro.algorithms.fastgcn import FastGCN
+from repro.algorithms.graphsage import GraphSAGE
+from repro.algorithms.graphsaint import GraphSAINT
+from repro.algorithms.hetgnn import HetGNN
+from repro.algorithms.ladies import LADIES
+from repro.algorithms.node2vec import Node2Vec
+from repro.algorithms.pass_attention import PASS
+from repro.algorithms.pinsage import PinSAGE
+from repro.algorithms.seal import SEAL
+from repro.algorithms.shadow import ShaDow
+from repro.algorithms.vrgcn import VRGCN
+from repro.errors import GSamplerError
+
+_ALGORITHMS: dict[str, type[Algorithm]] = {
+    cls.info.name: cls
+    for cls in (
+        DeepWalk,
+        GraphSAINT,
+        PinSAGE,
+        HetGNN,
+        GraphSAGE,
+        VRGCN,
+        SEAL,
+        ShaDow,
+        Node2Vec,
+        GCNBS,
+        Thanos,
+        PASS,
+        FastGCN,
+        ASGCN,
+        LADIES,
+    )
+}
+
+#: The 7 representatives benchmarked in the paper's evaluation.
+BENCHMARKED = (
+    "deepwalk",
+    "node2vec",
+    "graphsage",
+    "ladies",
+    "asgcn",
+    "pass",
+    "shadow",
+)
+
+#: The paper's simple/complex split (Figures 7 vs 8).
+SIMPLE = ("deepwalk", "node2vec", "graphsage")
+COMPLEX = ("ladies", "asgcn", "pass", "shadow")
+
+
+def available_algorithms() -> list[str]:
+    """All registered algorithm names (the 15 of Table 2)."""
+    return sorted(_ALGORITHMS)
+
+
+def make_algorithm(name: str, **kwargs: object) -> Algorithm:
+    """Instantiate an algorithm by name with constructor overrides."""
+    try:
+        cls = _ALGORITHMS[name.lower()]
+    except KeyError:
+        raise GSamplerError(
+            f"unknown algorithm {name!r}; available: {available_algorithms()}"
+        ) from None
+    return cls(**kwargs)  # type: ignore[arg-type]

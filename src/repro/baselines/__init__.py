@@ -1,0 +1,55 @@
+"""Baseline GPU/CPU sampling systems reproduced as execution models."""
+
+from repro.baselines.base import (
+    BaselineSystem,
+    Profile,
+    ProfiledPipeline,
+    plain_config,
+)
+from repro.baselines.message_passing import (
+    MessagePassingGraph,
+    copy_e,
+    copy_u,
+    dgl_normalize,
+    matrix_normalize,
+    reduce_max,
+    reduce_mean,
+    reduce_sum,
+    u_mul_e,
+)
+from repro.baselines.systems import (
+    FIGURE7_SYSTEMS,
+    FIGURE8_SYSTEMS,
+    CuGraphLike,
+    DGLLike,
+    GSamplerSystem,
+    GunRockLike,
+    PyGLike,
+    SkyWalkerLike,
+    make_system,
+)
+
+__all__ = [
+    "FIGURE7_SYSTEMS",
+    "FIGURE8_SYSTEMS",
+    "BaselineSystem",
+    "CuGraphLike",
+    "DGLLike",
+    "GSamplerSystem",
+    "GunRockLike",
+    "MessagePassingGraph",
+    "Profile",
+    "ProfiledPipeline",
+    "PyGLike",
+    "SkyWalkerLike",
+    "copy_e",
+    "copy_u",
+    "dgl_normalize",
+    "make_system",
+    "matrix_normalize",
+    "plain_config",
+    "reduce_max",
+    "reduce_mean",
+    "reduce_sum",
+    "u_mul_e",
+]

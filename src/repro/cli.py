@@ -1,0 +1,157 @@
+"""Command-line front end: run samplers and experiments from a shell.
+
+``python -m repro <command>``:
+
+* ``sample`` — run a sampling epoch for one (system, algorithm, dataset)
+  cell and print its statistics;
+* ``compare`` — print the normalized cross-system table for one
+  algorithm over the catalog datasets (a Figure 7/8 row group);
+* ``datasets`` / ``algorithms`` / ``systems`` — list what is available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.algorithms import available_algorithms
+from repro.bench import format_table, measure_cell
+from repro.datasets import available_datasets
+
+
+_SYSTEMS = (
+    "gsampler",
+    "dgl-gpu",
+    "dgl-cpu",
+    "pyg-gpu",
+    "pyg-cpu",
+    "skywalker",
+    "gunrock",
+    "cugraph",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="gSampler reproduction: sampling epochs and comparisons",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sample = sub.add_parser("sample", help="run one sampling-epoch cell")
+    sample.add_argument("--system", default="gsampler", choices=_SYSTEMS)
+    sample.add_argument("--algorithm", default="graphsage")
+    sample.add_argument("--dataset", default="pd")
+    sample.add_argument("--device", default="v100", choices=("v100", "t4", "cpu"))
+    sample.add_argument("--batch-size", type=int, default=512)
+    sample.add_argument("--scale", type=float, default=0.25)
+    sample.add_argument("--max-batches", type=int, default=None)
+
+    compare = sub.add_parser("compare", help="cross-system comparison table")
+    compare.add_argument("--algorithm", default="graphsage")
+    compare.add_argument("--scale", type=float, default=0.25)
+    compare.add_argument("--batch-size", type=int, default=512)
+    compare.add_argument("--max-batches", type=int, default=4)
+
+    sub.add_parser("datasets", help="list catalog datasets")
+    sub.add_parser("algorithms", help="list the 15 implemented algorithms")
+    sub.add_parser("systems", help="list comparison systems")
+    return parser
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    stats = measure_cell(
+        args.system,
+        args.algorithm,
+        args.dataset,
+        device_name=args.device,
+        batch_size=args.batch_size,
+        scale=args.scale,
+        max_batches=args.max_batches,
+    )
+    if stats is None:
+        print(
+            f"{args.system} does not support {args.algorithm} on "
+            f"{args.dataset} (an N/A cell in the paper's figures)"
+        )
+        return 1
+    print(
+        format_table(
+            ["Metric", "Value"],
+            [
+                ["system", stats.system],
+                ["algorithm", stats.algorithm],
+                ["dataset", stats.dataset],
+                ["device", stats.device],
+                ["batches", stats.num_batches],
+                ["epoch time (simulated ms)", f"{stats.sim_seconds * 1e3:.3f}"],
+                ["per batch (ms)", f"{stats.per_batch_ms():.4f}"],
+                ["kernel launches", stats.launches],
+                ["peak memory (KiB)", stats.peak_memory_bytes // 1024],
+                ["SM utilization (%)", f"{stats.sm_percent:.1f}"],
+                ["host wall time (s)", f"{stats.wall_seconds:.3f}"],
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    rows = []
+    for dataset in available_datasets():
+        cells: dict[str, float | None] = {}
+        for system in _SYSTEMS:
+            stats = measure_cell(
+                system,
+                args.algorithm,
+                dataset,
+                batch_size=args.batch_size,
+                scale=args.scale,
+                max_batches=args.max_batches,
+            )
+            cells[system] = None if stats is None else stats.sim_seconds
+        ref = cells["gsampler"]
+        if ref is None:
+            continue
+        rows.append(
+            [
+                dataset.upper(),
+                *(
+                    "N/A" if v is None else f"{v / ref:.2f}x"
+                    for v in cells.values()
+                ),
+            ]
+        )
+    print(
+        format_table(
+            ["Graph", *_SYSTEMS],
+            rows,
+            title=f"Normalized sampling time — {args.algorithm} "
+            "(gSampler = 1.0)",
+        )
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point used by ``python -m repro`` and tests."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "sample":
+        return _cmd_sample(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "datasets":
+        print("\n".join(available_datasets()))
+        return 0
+    if args.command == "algorithms":
+        print("\n".join(available_algorithms()))
+        return 0
+    if args.command == "systems":
+        print("\n".join(_SYSTEMS))
+        return 0
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

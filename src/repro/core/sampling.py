@@ -1,0 +1,415 @@
+"""Select-step kernels: individual (node-wise) and collective (layer-wise).
+
+These implement the two Select operators of Table 4:
+
+* ``individual_sample(K, probs)`` — every frontier (column) independently
+  samples up to ``K`` of its in-edges, probability proportional to the
+  per-edge ``probs`` (uniform when omitted);
+* ``collective_sample(K, node_probs)`` — ``K`` of the matrix's *row*
+  nodes are sampled jointly across all frontiers, probability
+  proportional to ``node_probs``; the result keeps only edges between the
+  selected rows and the frontiers and is compacted to ``K x T``.
+
+Both also exist as *fused* variants that sample straight out of the base
+graph's CSC without materializing the extracted subgraph — gSampler's
+Extract-Select fusion (Figure 5a).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core import random as rnd
+from repro.device import NULL_CONTEXT, ExecutionContext
+from repro.errors import FormatError, ShapeError
+from repro.sparse import (
+    CSC,
+    INDEX_DTYPE,
+    SparseFormat,
+    edge_values,
+    to_csc,
+)
+from repro.sparse.formats import gather_ranges
+
+_ITEM = 8
+_VAL = 4
+
+
+@dataclasses.dataclass
+class CollectiveResult:
+    """Output of a collective sample: the ``K x T`` matrix + row ids."""
+
+    matrix: CSC
+    selected_rows: np.ndarray
+
+
+def _edge_keys(
+    nnz: int,
+    values: np.ndarray | None,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Race keys per edge: uniform when unweighted, Exp(1)/w when biased."""
+    if values is None:
+        return rng.random(nnz)
+    return rnd.exponential_race_keys(values, rng)
+
+
+def individual_sample(
+    matrix: SparseFormat,
+    k: int,
+    probs: SparseFormat | np.ndarray | None = None,
+    *,
+    replace: bool = False,
+    rng: np.random.Generator | None = None,
+    ctx: ExecutionContext = NULL_CONTEXT,
+) -> CSC:
+    """Per-column sampling of up to ``k`` edges; returns a CSC sub-matrix.
+
+    ``probs`` supplies per-edge sampling bias, either as a matrix with the
+    same topology or as a raw per-edge array; edges keep their original
+    values in the output.  Columns with fewer than ``k`` (positively
+    weighted) edges return what they have when sampling without
+    replacement.
+    """
+    if k <= 0:
+        raise ShapeError(f"fanout k must be positive, got {k}")
+    rng = rng if rng is not None else rnd.new_rng()
+    csc = to_csc(matrix, ctx)
+    bias = _resolve_edge_bias(csc, probs)
+    picks = _pick_per_segment(csc.indptr, bias, k, replace, rng)
+    out = _build_csc_from_picks(csc, picks, k, replace)
+    ctx.record(
+        "individual_sample",
+        bytes_read=csc.shape[1] * 2 * _ITEM
+        + csc.nnz * (_ITEM + (0 if bias is None else _VAL)),
+        bytes_written=out.nbytes(),
+        flops=csc.nnz * (2.0 if bias is not None else 1.0),
+        tasks=max(csc.nnz, 1),  # edge-parallel candidate scan
+    )
+    return out
+
+
+def fused_extract_individual_sample(
+    graph_csc: CSC,
+    frontiers: np.ndarray,
+    k: int,
+    probs_edge_values: np.ndarray | None = None,
+    *,
+    replace: bool = False,
+    rng: np.random.Generator | None = None,
+    ctx: ExecutionContext = NULL_CONTEXT,
+) -> CSC:
+    """Extract-Select fusion: sample neighbors directly from the graph.
+
+    Semantically identical to ``individual_sample(A[:, frontiers], k)``
+    but the extracted subgraph is never written to memory: the kernel
+    reads only the frontier index ranges and writes only the sampled
+    edges, which is the memory saving Figure 10's "C" bar measures.
+    """
+    rng = rng if rng is not None else rnd.new_rng()
+    frontiers = np.asarray(frontiers, dtype=INDEX_DTYPE)
+    starts = graph_csc.indptr[frontiers]
+    lengths = graph_csc.indptr[frontiers + 1] - starts
+    sub_indptr = np.zeros(len(frontiers) + 1, dtype=INDEX_DTYPE)
+    np.cumsum(lengths, out=sub_indptr[1:])
+    flat = gather_ranges(starts, lengths)
+
+    if probs_edge_values is not None:
+        bias = np.asarray(probs_edge_values, dtype=np.float64)[flat]
+    elif graph_csc.values is not None and _has_nonuniform(graph_csc.values):
+        bias = graph_csc.values[flat].astype(np.float64)
+    else:
+        bias = None
+    picks_local = _pick_per_segment(sub_indptr, bias, k, replace, rng)
+    picks = flat[picks_local]
+
+    # Reconstruct the per-column layout of the picks.
+    seg_of_pick = _segments_of(picks_local, sub_indptr)
+    counts = np.bincount(seg_of_pick, minlength=len(frontiers))
+    out_indptr = np.zeros(len(frontiers) + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=out_indptr[1:])
+    out = CSC(
+        indptr=out_indptr,
+        rows=graph_csc.rows[picks],
+        values=None if graph_csc.values is None else graph_csc.values[picks],
+        shape=(graph_csc.shape[0], len(frontiers)),
+        edge_ids=(
+            picks
+            if graph_csc.edge_ids is None
+            else graph_csc.edge_ids[picks]
+        ),
+    )
+    # Fused accounting: indptr lookups + sampled output only. The bias
+    # scan (when biased) still reads the candidate edges once.
+    read = len(frontiers) * 2 * _ITEM + (
+        int(lengths.sum()) * _VAL if bias is not None else 0
+    )
+    graph_read = read + out.nnz * _ITEM
+    ctx.record(
+        "fused_extract_individual_sample",
+        bytes_read=graph_read,
+        bytes_written=out.nbytes(),
+        flops=float(lengths.sum()),
+        tasks=max(int(lengths.sum()), 1),  # edge-parallel
+        graph_bytes=graph_read,
+    )
+    return out
+
+
+def fused_extract_reduce(
+    graph_csc: CSC,
+    frontiers: np.ndarray,
+    op: str,
+    axis: int,
+    *,
+    ctx: ExecutionContext = NULL_CONTEXT,
+) -> np.ndarray:
+    """Extract-Reduce fusion: reduce ``A[:, frontiers]`` without
+    materializing it.
+
+    After the pre-processing pass rewrites LADIES's bias computation to
+    ``M[:, frontiers].sum(axis=0)``, this kernel computes the per-row (or
+    per-column) reduction straight from the graph's CSC ranges — reading
+    only the frontier columns' edges and writing only the output vector.
+    """
+    frontiers = np.asarray(frontiers, dtype=INDEX_DTYPE)
+    starts = graph_csc.indptr[frontiers]
+    lengths = graph_csc.indptr[frontiers + 1] - starts
+    flat = gather_ranges(starts, lengths)
+    vals = (
+        np.ones(len(flat), dtype=np.float64)
+        if graph_csc.values is None
+        else graph_csc.values[flat].astype(np.float64)
+    )
+    if axis == 0:
+        if op != "sum":
+            raise ShapeError(f"fused extract-reduce supports sum, got {op!r}")
+        out = np.bincount(
+            graph_csc.rows[flat], weights=vals, minlength=graph_csc.shape[0]
+        ).astype(np.float32)
+        out_len = graph_csc.shape[0]
+    elif axis == 1:
+        csum = np.zeros(len(vals) + 1, dtype=np.float64)
+        np.cumsum(vals, out=csum[1:])
+        sub_indptr = np.zeros(len(frontiers) + 1, dtype=INDEX_DTYPE)
+        np.cumsum(lengths, out=sub_indptr[1:])
+        out = (csum[sub_indptr[1:]] - csum[sub_indptr[:-1]]).astype(np.float32)
+        out_len = len(frontiers)
+    else:
+        raise ShapeError(f"reduce axis must be 0 or 1, got {axis}")
+    read = len(frontiers) * 2 * _ITEM + len(flat) * (_ITEM + _VAL)
+    ctx.record(
+        "fused_extract_reduce",
+        bytes_read=read,
+        bytes_written=out_len * _VAL,
+        flops=float(len(flat)) * 2.0,
+        tasks=max(len(flat), 1),
+        graph_bytes=read,
+    )
+    return out
+
+
+def collective_sample(
+    matrix: SparseFormat,
+    k: int,
+    node_probs: np.ndarray | None = None,
+    *,
+    replace: bool = False,
+    rng: np.random.Generator | None = None,
+    ctx: ExecutionContext = NULL_CONTEXT,
+) -> CollectiveResult:
+    """Layer-wise sampling: draw ``k`` row nodes jointly, then restrict.
+
+    ``node_probs`` is a vector over the matrix's rows; when omitted, the
+    per-edge bias (1 for unweighted) is aggregated per row, as the paper
+    specifies.  The returned matrix is compacted to ``K x T`` with
+    ``selected_rows`` holding the chosen (local) row indices.
+    """
+    if k <= 0:
+        raise ShapeError(f"layer width k must be positive, got {k}")
+    rng = rng if rng is not None else rnd.new_rng()
+    csc = to_csc(matrix, ctx)
+    if node_probs is None:
+        from repro.sparse import reduce_rows
+
+        node_probs = reduce_rows(csc, "sum", ctx).astype(np.float64)
+    else:
+        node_probs = np.asarray(node_probs, dtype=np.float64)
+        if node_probs.shape != (csc.shape[0],):
+            raise ShapeError(
+                f"node_probs shape {node_probs.shape} != rows ({csc.shape[0]},)"
+            )
+    if replace:
+        selected = np.unique(
+            rnd.weighted_choice_with_replacement(node_probs, k, rng)
+        )
+    else:
+        selected = np.sort(rnd.weighted_choice_without_replacement(node_probs, k, rng))
+    sub = _restrict_rows_csc(csc, selected)
+    ctx.record(
+        "collective_sample",
+        bytes_read=node_probs.nbytes + csc.nnz * (_ITEM + _VAL),
+        bytes_written=sub.nbytes() + selected.nbytes,
+        flops=csc.shape[0] + csc.nnz,
+        tasks=max(csc.nnz, 1),
+    )
+    return CollectiveResult(matrix=sub, selected_rows=selected)
+
+
+def _restrict_rows_csc(csc: CSC, keep_rows: np.ndarray) -> CSC:
+    """Keep only edges whose row is in ``keep_rows``; compact rows."""
+    lut = np.full(csc.shape[0], -1, dtype=INDEX_DTYPE)
+    lut[keep_rows] = np.arange(len(keep_rows), dtype=INDEX_DTYPE)
+    new_rows = lut[csc.rows]
+    mask = new_rows >= 0
+    kept = mask.astype(INDEX_DTYPE)
+    csum = np.zeros(len(kept) + 1, dtype=INDEX_DTYPE)
+    np.cumsum(kept, out=csum[1:])
+    per_col = csum[csc.indptr[1:]] - csum[csc.indptr[:-1]]
+    indptr = np.zeros(csc.shape[1] + 1, dtype=INDEX_DTYPE)
+    np.cumsum(per_col, out=indptr[1:])
+    return CSC(
+        indptr=indptr,
+        rows=new_rows[mask],
+        values=None if csc.values is None else csc.values[mask],
+        shape=(len(keep_rows), csc.shape[1]),
+        edge_ids=None if csc.edge_ids is None else csc.edge_ids[mask],
+    )
+
+
+def _resolve_edge_bias(
+    csc: CSC, probs: SparseFormat | np.ndarray | None
+) -> np.ndarray | None:
+    """Normalize the ``probs`` argument to a per-edge float array or None."""
+    if probs is None:
+        if csc.values is not None and _has_nonuniform(csc.values):
+            return csc.values.astype(np.float64)
+        return None
+    if isinstance(probs, np.ndarray):
+        if probs.shape != (csc.nnz,):
+            raise ShapeError(
+                f"per-edge probs shape {probs.shape} != nnz ({csc.nnz},)"
+            )
+        return probs.astype(np.float64)
+    if probs.nnz != csc.nnz or probs.shape != csc.shape:
+        raise ShapeError("probs matrix topology differs from target matrix")
+    probs_csc = to_csc(probs)
+    return edge_values(probs_csc).astype(np.float64)
+
+
+def _has_nonuniform(values: np.ndarray) -> bool:
+    """True when edge weights actually vary (skip the biased path if not)."""
+    return len(values) > 0 and bool(
+        np.any(values != values.flat[0])
+    )
+
+
+def _pick_per_segment(
+    indptr: np.ndarray,
+    bias: np.ndarray | None,
+    k: int,
+    replace: bool,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Flat edge positions selected for every indptr segment."""
+    nnz = int(indptr[-1])
+    if nnz == 0:
+        return np.empty(0, dtype=INDEX_DTYPE)
+    if replace:
+        lengths = np.diff(indptr)
+        if bias is None:
+            seg_ids, offsets = rnd.segmented_uniform_with_replacement(
+                lengths, k, rng
+            )
+            return (indptr[seg_ids] + offsets).astype(INDEX_DTYPE)
+        return _segmented_biased_with_replacement(indptr, bias, k, rng)
+    keys = _edge_keys(nnz, bias, rng)
+    return rnd.segmented_race_select(keys, indptr, k).astype(INDEX_DTYPE)
+
+
+def _segmented_biased_with_replacement(
+    indptr: np.ndarray, bias: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Inverse-CDF draws per segment, vectorized across segments."""
+    csum = np.zeros(len(bias) + 1, dtype=np.float64)
+    np.cumsum(bias, out=csum[1:])
+    seg_totals = csum[indptr[1:]] - csum[indptr[:-1]]
+    nonempty = np.flatnonzero(seg_totals > 0)
+    if len(nonempty) == 0:
+        return np.empty(0, dtype=INDEX_DTYPE)
+    seg_ids = np.repeat(nonempty, k)
+    targets = csum[indptr[seg_ids]] + rng.random(len(seg_ids)) * seg_totals[seg_ids]
+    picks = np.searchsorted(csum, targets, side="right") - 1
+    np.clip(picks, indptr[seg_ids], indptr[seg_ids + 1] - 1, out=picks)
+    return picks.astype(INDEX_DTYPE)
+
+
+def _segments_of(flat_positions: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Segment index owning each flat position."""
+    return (np.searchsorted(indptr, flat_positions, side="right") - 1).astype(
+        INDEX_DTYPE
+    )
+
+
+def _build_csc_from_picks(
+    csc: CSC, picks: np.ndarray, k: int, replace: bool
+) -> CSC:
+    """Assemble the sampled CSC given flat edge positions (segment-sorted)."""
+    seg_of_pick = _segments_of(picks, csc.indptr)
+    counts = np.bincount(seg_of_pick, minlength=csc.shape[1])
+    indptr = np.zeros(csc.shape[1] + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    return CSC(
+        indptr=indptr,
+        rows=csc.rows[picks],
+        values=None if csc.values is None else csc.values[picks],
+        shape=csc.shape,
+        edge_ids=(
+            picks if csc.edge_ids is None else csc.edge_ids[picks]
+        ),
+    )
+
+
+def uniform_walk_step(
+    graph_csc: CSC,
+    frontiers: np.ndarray,
+    rng: np.random.Generator | None = None,
+    ctx: ExecutionContext = NULL_CONTEXT,
+    bias_edge_values: np.ndarray | None = None,
+) -> np.ndarray:
+    """One random-walk step: pick one in-neighbor per frontier.
+
+    Returns the next node per frontier, with ``-1`` for dead ends
+    (frontiers without in-edges).  Used by DeepWalk/Node2Vec/PinSAGE.
+    """
+    rng = rng if rng is not None else rnd.new_rng()
+    frontiers = np.asarray(frontiers, dtype=INDEX_DTYPE)
+    starts = graph_csc.indptr[frontiers]
+    lengths = graph_csc.indptr[frontiers + 1] - starts
+    nxt = np.full(len(frontiers), -1, dtype=INDEX_DTYPE)
+    if bias_edge_values is None:
+        seg_ids, offsets = rnd.segmented_uniform_with_replacement(lengths, 1, rng)
+        nxt[seg_ids] = graph_csc.rows[starts[seg_ids] + offsets]
+        bias_bytes = 0
+    else:
+        flat = gather_ranges(starts, lengths)
+        sub_indptr = np.zeros(len(frontiers) + 1, dtype=INDEX_DTYPE)
+        np.cumsum(lengths, out=sub_indptr[1:])
+        picks = _segmented_biased_with_replacement(
+            sub_indptr, np.asarray(bias_edge_values, dtype=np.float64)[flat], 1, rng
+        )
+        seg = _segments_of(picks, sub_indptr)
+        nxt[seg] = graph_csc.rows[flat[picks]]
+        bias_bytes = int(lengths.sum()) * _VAL
+    read = len(frontiers) * 2 * _ITEM + len(frontiers) * _ITEM + bias_bytes
+    ctx.record(
+        "walk_step",
+        bytes_read=read,
+        bytes_written=nxt.nbytes,
+        flops=float(max(lengths.sum(), 1)),
+        tasks=max(int(lengths.sum()), 1),  # alias-table lanes per edge
+        graph_bytes=read,
+    )
+    return nxt

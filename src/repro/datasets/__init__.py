@@ -1,0 +1,25 @@
+"""Synthetic datasets standing in for the paper's OGB/SNAP graphs."""
+
+from repro.datasets.catalog import Dataset, available_datasets, load_dataset
+from repro.datasets.synthetic import (
+    block_features,
+    dedupe_edges,
+    random_edge_weights,
+    random_features,
+    rmat_edges,
+    sbm_edges,
+    symmetrize,
+)
+
+__all__ = [
+    "Dataset",
+    "available_datasets",
+    "block_features",
+    "dedupe_edges",
+    "load_dataset",
+    "random_edge_weights",
+    "random_features",
+    "rmat_edges",
+    "sbm_edges",
+    "symmetrize",
+]

@@ -1,0 +1,155 @@
+"""Synthetic graph generators.
+
+The paper evaluates on LiveJournal, Ogbn-Products, Ogbn-Papers100M, and
+Friendster — none of which can be downloaded in this offline environment,
+so we generate laptop-scale stand-ins whose *shape characteristics* drive
+the same effects the paper observes:
+
+* **RMAT** (recursive matrix) graphs reproduce the skewed, power-law
+  degree distributions of social networks (LJ, FS, PP).  Skew is what
+  makes hot-node caching effective for UVA access and what produces load
+  imbalance in vertex-centric baselines.
+* **SBM** (stochastic block model) graphs carry planted communities, so
+  node classification has learnable structure — needed for the accuracy
+  columns of Tables 1 and 8 (the PD stand-in).
+
+All generators are fully vectorized and deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.sparse import INDEX_DTYPE
+
+
+def rmat_edges(
+    scale: int,
+    edge_factor: int,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate an RMAT edge list with ``2**scale`` nodes.
+
+    The classic Graph500 parameters (a=0.57, b=c=0.19, d=0.05) give a
+    heavy-tailed degree distribution.  Returns ``(src, dst)`` arrays of
+    length ``edge_factor * 2**scale``.
+    """
+    d = 1.0 - a - b - c
+    if d < 0:
+        raise ShapeError("rmat probabilities must sum to at most 1")
+    rng = np.random.default_rng(seed)
+    n_edges = edge_factor * (1 << scale)
+    src = np.zeros(n_edges, dtype=INDEX_DTYPE)
+    dst = np.zeros(n_edges, dtype=INDEX_DTYPE)
+    for level in range(scale):
+        r = rng.random(n_edges)
+        # Quadrant boundaries: [0,a) TL, [a,a+b) TR, [a+b,a+b+c) BL, rest BR.
+        go_right = ((r >= a) & (r < a + b)) | (r >= a + b + c)
+        go_down = r >= a + b
+        src = (src << 1) | go_down.astype(INDEX_DTYPE)
+        dst = (dst << 1) | go_right.astype(INDEX_DTYPE)
+    return src, dst
+
+
+def sbm_edges(
+    num_nodes: int,
+    num_blocks: int,
+    avg_degree: float,
+    *,
+    intra_fraction: float = 0.85,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Stochastic block model: ``(src, dst, block_of_node)``.
+
+    ``intra_fraction`` of the edges connect nodes within the same block;
+    the rest are uniform across blocks.  Sampling-based GNNs can recover
+    the planted blocks with high accuracy, which is what the end-to-end
+    experiments need.
+    """
+    rng = np.random.default_rng(seed)
+    blocks = rng.integers(0, num_blocks, size=num_nodes).astype(INDEX_DTYPE)
+    n_edges = int(num_nodes * avg_degree)
+    n_intra = int(n_edges * intra_fraction)
+    # Intra-block edges: pick a source, then a random node in its block.
+    order = np.argsort(blocks, kind="stable")
+    sorted_blocks = blocks[order]
+    block_start = np.searchsorted(sorted_blocks, np.arange(num_blocks))
+    block_end = np.searchsorted(sorted_blocks, np.arange(num_blocks), side="right")
+    src_intra = rng.integers(0, num_nodes, size=n_intra).astype(INDEX_DTYPE)
+    b_of_src = blocks[src_intra]
+    width = np.maximum(block_end[b_of_src] - block_start[b_of_src], 1)
+    offset = np.floor(rng.random(n_intra) * width).astype(INDEX_DTYPE)
+    dst_intra = order[block_start[b_of_src] + offset]
+    # Inter-block edges: uniform pairs.
+    n_inter = n_edges - n_intra
+    src_inter = rng.integers(0, num_nodes, size=n_inter).astype(INDEX_DTYPE)
+    dst_inter = rng.integers(0, num_nodes, size=n_inter).astype(INDEX_DTYPE)
+    src = np.concatenate([src_intra, src_inter])
+    dst = np.concatenate([dst_intra, dst_inter])
+    return src, dst, blocks
+
+
+def symmetrize(
+    src: np.ndarray, dst: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Create two directed edges per undirected edge (as the paper does
+    for the undirected PD and FS graphs)."""
+    return (
+        np.concatenate([src, dst]),
+        np.concatenate([dst, src]),
+    )
+
+
+def dedupe_edges(
+    src: np.ndarray, dst: np.ndarray, num_nodes: int, *, drop_self_loops: bool = True
+) -> tuple[np.ndarray, np.ndarray]:
+    """Remove duplicate edges (and optionally self loops)."""
+    key = src * num_nodes + dst
+    _, idx = np.unique(key, return_index=True)
+    src, dst = src[idx], dst[idx]
+    if drop_self_loops:
+        mask = src != dst
+        src, dst = src[mask], dst[mask]
+    return src, dst
+
+
+def random_features(
+    num_nodes: int, dim: int, *, seed: int = 0
+) -> np.ndarray:
+    """Random float32 node features (the paper generates 128-dim features
+    for LJ and FS, which ship without any)."""
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((num_nodes, dim)).astype(np.float32)
+
+
+def block_features(
+    blocks: np.ndarray,
+    num_blocks: int,
+    dim: int,
+    *,
+    noise: float = 1.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Features carrying a noisy imprint of the planted block.
+
+    Each block has a random prototype vector; node features are the
+    prototype plus Gaussian noise.  This gives the classifier a learnable
+    signal both through features and through graph structure.
+    """
+    rng = np.random.default_rng(seed)
+    prototypes = rng.standard_normal((num_blocks, dim)).astype(np.float32)
+    feats = prototypes[blocks] + noise * rng.standard_normal(
+        (len(blocks), dim)
+    ).astype(np.float32)
+    return feats.astype(np.float32)
+
+
+def random_edge_weights(num_edges: int, *, seed: int = 0) -> np.ndarray:
+    """Uniform (0, 1] edge weights (LADIES/AS-GCN need weighted graphs)."""
+    rng = np.random.default_rng(seed)
+    return (1.0 - rng.random(num_edges)).astype(np.float32)

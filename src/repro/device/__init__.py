@@ -1,0 +1,28 @@
+"""Analytical device simulator: specs, memory pool, and launch ledger.
+
+This package is the reproduction's stand-in for real GPU hardware (see
+DESIGN.md, "Hardware substitution").  Kernels report their workload to an
+:class:`ExecutionContext`; the context prices each launch under a
+:class:`DeviceSpec` and accumulates simulated time, memory, and occupancy
+statistics that the benchmarks report in place of the paper's V100/T4
+measurements.
+"""
+
+from repro.device.context import NULL_CONTEXT, ExecutionContext, KernelLaunch, NullContext
+from repro.device.memory import Allocation, MemoryPool
+from repro.device.spec import CPU, GB, T4, V100, DeviceSpec, get_device
+
+__all__ = [
+    "CPU",
+    "GB",
+    "NULL_CONTEXT",
+    "T4",
+    "V100",
+    "Allocation",
+    "DeviceSpec",
+    "ExecutionContext",
+    "KernelLaunch",
+    "MemoryPool",
+    "NullContext",
+    "get_device",
+]

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the gSampler reproduction.
+
+Every error raised by this package derives from :class:`GSamplerError` so
+that callers can catch framework errors without masking programming
+mistakes (``TypeError`` etc. propagate unchanged).
+"""
+
+from __future__ import annotations
+
+
+class GSamplerError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ShapeError(GSamplerError):
+    """An operation received operands with incompatible shapes."""
+
+
+class FormatError(GSamplerError):
+    """A sparse matrix was asked for an unsupported or unknown layout."""
+
+
+class TraceError(GSamplerError):
+    """The symbolic tracer could not record a user program."""
+
+
+class PassError(GSamplerError):
+    """An IR optimization pass found the graph in an inconsistent state."""
+
+
+class UnsupportedAlgorithmError(GSamplerError):
+    """A baseline system was asked to run an algorithm it does not support.
+
+    This mirrors the N/A entries in Figures 7 and 8 of the paper: e.g.
+    GunRock only implements GraphSAGE, PyG has no GPU path for complex
+    algorithms, and vertex-centric systems cannot express layer-wise
+    sampling at all.
+    """
+
+    def __init__(self, system: str, algorithm: str, reason: str) -> None:
+        self.system = system
+        self.algorithm = algorithm
+        self.reason = reason
+        super().__init__(f"{system} cannot run {algorithm}: {reason}")
+
+
+class MemoryBudgetError(GSamplerError):
+    """A super-batch configuration exceeded the user memory budget."""
+
+
+class DeviceError(GSamplerError):
+    """The device simulator was used inconsistently."""

@@ -1,0 +1,25 @@
+"""Data-flow IR: tracing, optimization passes, and interpretation."""
+
+from repro.ir.graph import (
+    IMPURE_OPS,
+    MATRIX_OPS,
+    STRUCTURE_OPS,
+    DataFlowGraph,
+    Node,
+)
+from repro.ir.interpreter import Interpreter
+from repro.ir.trace import MatrixProxy, Meta, TensorProxy, Tracer, trace
+
+__all__ = [
+    "IMPURE_OPS",
+    "MATRIX_OPS",
+    "STRUCTURE_OPS",
+    "DataFlowGraph",
+    "Interpreter",
+    "MatrixProxy",
+    "Meta",
+    "Node",
+    "TensorProxy",
+    "Tracer",
+    "trace",
+]

@@ -1,0 +1,33 @@
+"""IR optimization passes: cleanup, fusion, pre-processing, layout, batch."""
+
+from repro.ir.passes.base import Pass, PassManager, PassReport
+from repro.ir.passes.cleanup import (
+    CommonSubexpressionElimination,
+    DeadCodeElimination,
+)
+from repro.ir.passes.fusion import (
+    EdgeMapFusion,
+    EdgeMapReduceFusion,
+    ExtractReduceFusion,
+    ExtractSelectFusion,
+)
+from repro.ir.passes.layout import GreedyLayoutPass, LayoutSelectionPass
+from repro.ir.passes.preprocess import PreprocessPass
+from repro.ir.passes.superbatch import SuperBatchPass, needs_block_diagonal
+
+__all__ = [
+    "CommonSubexpressionElimination",
+    "DeadCodeElimination",
+    "EdgeMapFusion",
+    "EdgeMapReduceFusion",
+    "ExtractReduceFusion",
+    "ExtractSelectFusion",
+    "GreedyLayoutPass",
+    "LayoutSelectionPass",
+    "Pass",
+    "PassManager",
+    "PassReport",
+    "PreprocessPass",
+    "SuperBatchPass",
+    "needs_block_diagonal",
+]

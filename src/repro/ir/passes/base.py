@@ -1,0 +1,57 @@
+"""Pass infrastructure: the base class and the pass manager.
+
+gSampler applies three families of IR passes (Section 4.1): computation
+optimizations (fusion, pre-processing, DCE, CSE), data-layout selection,
+and super-batch rewriting.  A :class:`PassManager` runs them in a fixed
+order; each pass mutates the graph in place and reports whether it changed
+anything, so the manager can re-run cleanup passes to a fixpoint.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+
+from repro.ir.graph import DataFlowGraph
+
+
+class Pass(abc.ABC):
+    """One IR-to-IR transformation."""
+
+    #: Human-readable pass name for reports.
+    name: str = "pass"
+
+    @abc.abstractmethod
+    def run(self, ir: DataFlowGraph) -> bool:
+        """Transform ``ir`` in place; return True if anything changed."""
+
+
+@dataclasses.dataclass
+class PassReport:
+    """What the pass manager did, for logs and the ablation benchmarks."""
+
+    applied: list[str]
+    iterations: int
+
+
+class PassManager:
+    """Runs a pipeline of passes, iterating cleanup passes to fixpoint."""
+
+    def __init__(self, passes: list[Pass], *, max_iterations: int = 8) -> None:
+        self.passes = passes
+        self.max_iterations = max_iterations
+
+    def run(self, ir: DataFlowGraph) -> PassReport:
+        applied: list[str] = []
+        iterations = 0
+        for _ in range(self.max_iterations):
+            iterations += 1
+            changed = False
+            for p in self.passes:
+                if p.run(ir):
+                    applied.append(p.name)
+                    changed = True
+                ir.validate()
+            if not changed:
+                break
+        return PassReport(applied=applied, iterations=iterations)

@@ -1,0 +1,23 @@
+"""Training glue: NumPy GNN models, trainer, and framework converters."""
+
+from repro.learning.convert import DGLBlock, PyGData, to_dgl_graph, to_pyg_graph
+from repro.learning.models import GraphSAGEModel, LadiesGCN, SampledGNN
+from repro.learning.nn import SGD, Linear, ReLU, accuracy, softmax_cross_entropy
+from repro.learning.trainer import Trainer, TrainResult
+
+__all__ = [
+    "DGLBlock",
+    "GraphSAGEModel",
+    "LadiesGCN",
+    "Linear",
+    "PyGData",
+    "ReLU",
+    "SGD",
+    "SampledGNN",
+    "TrainResult",
+    "Trainer",
+    "accuracy",
+    "softmax_cross_entropy",
+    "to_dgl_graph",
+    "to_pyg_graph",
+]

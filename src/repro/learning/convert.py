@@ -1,0 +1,81 @@
+"""Framework interop: the ``to_dgl_graph`` / ``to_pyg_graph`` converters.
+
+gSampler hands its sampled matrices to DGL or PyG for training
+(Section 4.5).  Neither framework exists in this environment, so the
+converters produce faithful structural equivalents:
+
+* :func:`to_dgl_graph` returns a DGL-style *message flow graph* (MFG):
+  renumbered src/dst node lists with a local edge index and the
+  local-to-global id maps DGL blocks carry;
+* :func:`to_pyg_graph` returns PyG's ``edge_index`` convention: a
+  ``(2, E)`` integer array plus node ids and edge weights.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.matrix import Matrix
+from repro.sparse import INDEX_DTYPE
+
+
+@dataclasses.dataclass
+class DGLBlock:
+    """A DGL-style message-flow-graph block.
+
+    ``src_nodes``/``dst_nodes`` are original ids; ``edges_src``/
+    ``edges_dst`` index *locally* into those arrays, exactly like a DGL
+    block after ``to_block``.
+    """
+
+    src_nodes: np.ndarray
+    dst_nodes: np.ndarray
+    edges_src: np.ndarray
+    edges_dst: np.ndarray
+    edge_weight: np.ndarray
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges_src)
+
+
+@dataclasses.dataclass
+class PyGData:
+    """A PyG-style data object for one sampled block."""
+
+    edge_index: np.ndarray  # (2, E): local [src; dst]
+    node_ids: np.ndarray  # local -> original
+    edge_weight: np.ndarray
+    num_nodes: int
+
+
+def to_dgl_graph(matrix: Matrix) -> DGLBlock:
+    """Convert a sampled matrix into a DGL-style MFG block."""
+    src_global, dst_global, weights = matrix.to_coo_arrays()
+    src_nodes, edges_src = np.unique(src_global, return_inverse=True)
+    dst_nodes, edges_dst = np.unique(dst_global, return_inverse=True)
+    return DGLBlock(
+        src_nodes=src_nodes.astype(INDEX_DTYPE),
+        dst_nodes=dst_nodes.astype(INDEX_DTYPE),
+        edges_src=edges_src.astype(INDEX_DTYPE),
+        edges_dst=edges_dst.astype(INDEX_DTYPE),
+        edge_weight=weights,
+    )
+
+
+def to_pyg_graph(matrix: Matrix) -> PyGData:
+    """Convert a sampled matrix into a PyG-style data object."""
+    src_global, dst_global, weights = matrix.to_coo_arrays()
+    node_ids, inverse = np.unique(
+        np.concatenate([src_global, dst_global]), return_inverse=True
+    )
+    e = len(src_global)
+    edge_index = np.stack([inverse[:e], inverse[e:]]).astype(INDEX_DTYPE)
+    return PyGData(
+        edge_index=edge_index,
+        node_ids=node_ids.astype(INDEX_DTYPE),
+        edge_weight=weights,
+        num_nodes=len(node_ids),
+    )

@@ -1,0 +1,128 @@
+"""Minimal dense neural-network layers with manual backprop.
+
+The end-to-end experiments (Tables 1 and 8) need real training — loss
+going down, accuracy converging — but only small models (the paper notes
+GNN models are lightweight; that is exactly why sampling dominates).
+These NumPy layers with hand-written backward passes are sufficient and
+keep the dependency set empty.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+class Linear:
+    """Dense layer ``y = x @ W + b`` with cached input for backward."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        *,
+        rng: np.random.Generator,
+        bias: bool = True,
+    ) -> None:
+        scale = np.sqrt(2.0 / (in_dim + out_dim))
+        self.W = (rng.standard_normal((in_dim, out_dim)) * scale).astype(np.float32)
+        self.b = np.zeros(out_dim, dtype=np.float32) if bias else None
+        self.dW = np.zeros_like(self.W)
+        self.db = None if self.b is None else np.zeros_like(self.b)
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[-1] != self.W.shape[0]:
+            raise ShapeError(
+                f"Linear expected input dim {self.W.shape[0]}, got {x.shape[-1]}"
+            )
+        self._x = x
+        out = x @ self.W
+        if self.b is not None:
+            out = out + self.b
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._x is not None, "forward must run before backward"
+        self.dW += self._x.T @ grad_out
+        if self.db is not None:
+            self.db += grad_out.sum(axis=0)
+        return grad_out @ self.W.T
+
+    def zero_grad(self) -> None:
+        self.dW[:] = 0.0
+        if self.db is not None:
+            self.db[:] = 0.0
+
+    def parameters(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        params = [(self.W, self.dW)]
+        if self.b is not None:
+            assert self.db is not None
+            params.append((self.b, self.db))
+        return params
+
+    @property
+    def flops_per_row(self) -> float:
+        """FLOPs of one forward row (used by the device cost model)."""
+        return 2.0 * self.W.shape[0] * self.W.shape[1]
+
+
+class ReLU:
+    """Rectifier with cached mask."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._mask is not None
+        return grad_out * self._mask
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and its gradient w.r.t. logits."""
+    if len(logits) != len(labels):
+        raise ShapeError("logits/labels batch sizes differ")
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    n = len(labels)
+    eps = 1e-12
+    loss = float(-np.log(probs[np.arange(n), labels] + eps).mean())
+    grad = probs
+    grad[np.arange(n), labels] -= 1.0
+    return loss, (grad / n).astype(np.float32)
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy in [0, 1]."""
+    if len(logits) == 0:
+        return 0.0
+    return float((logits.argmax(axis=1) == labels).mean())
+
+
+class SGD:
+    """Plain SGD with optional momentum over (param, grad) pairs."""
+
+    def __init__(
+        self,
+        params: list[tuple[np.ndarray, np.ndarray]],
+        lr: float = 0.05,
+        momentum: float = 0.9,
+    ) -> None:
+        self.params = params
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p) for p, _ in params]
+
+    def step(self) -> None:
+        for (param, grad), vel in zip(self.params, self._velocity):
+            vel *= self.momentum
+            vel -= self.lr * grad
+            param += vel

@@ -1,0 +1,247 @@
+"""The gSampler front door: compile a sampling function, then run batches.
+
+Workflow (Figure 4 of the paper): a user program written against the
+matrix-centric API is traced into a data-flow IR, optimization passes are
+applied (computation optimization, data-layout selection, super-batch
+rewriting), and the optimized IR is executed per mini-batch by the
+interpreter under the device simulator.
+
+Example::
+
+    def sage_layer(A, frontiers, K):
+        sub_A = A[:, frontiers]
+        sample_A = sub_A.individual_sample(K)
+        return sample_A, sample_A.row()
+
+    sampler = compile_sampler(
+        sage_layer, graph, example_frontiers=seeds, constants={"K": 10}
+    )
+    sample_A, next_frontiers = sampler.run(seeds, ctx=ctx)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.core import new_rng
+from repro.core.matrix import Matrix
+from repro.device import NULL_CONTEXT, ExecutionContext
+from repro.errors import MemoryBudgetError, TraceError
+from repro.ir.graph import DataFlowGraph
+from repro.ir.interpreter import Interpreter
+from repro.ir.passes import (
+    CommonSubexpressionElimination,
+    DeadCodeElimination,
+    EdgeMapFusion,
+    EdgeMapReduceFusion,
+    ExtractReduceFusion,
+    ExtractSelectFusion,
+    GreedyLayoutPass,
+    LayoutSelectionPass,
+    PassManager,
+    PreprocessPass,
+    SuperBatchPass,
+)
+from repro.ir.trace import trace
+from repro.ir import superbatch_ops
+
+
+@dataclasses.dataclass(frozen=True)
+class OptimizationConfig:
+    """Which optimization families to apply (the Figure 10 knobs).
+
+    ``computation`` is the "C" bar (fusion + pre-processing + DCE/CSE),
+    ``layout`` the "D" bar (cost-aware layout selection; when off, the
+    DGL-style greedy choice is used), and ``superbatch`` the "B" bar.
+    """
+
+    computation: bool = True
+    layout: bool = True
+    superbatch: bool = True
+
+    @classmethod
+    def plain(cls) -> "OptimizationConfig":
+        return cls(computation=False, layout=False, superbatch=False)
+
+
+class CompiledSampler:
+    """A traced, optimized, executable sampling program."""
+
+    def __init__(
+        self,
+        ir: DataFlowGraph,
+        graph: Matrix,
+        *,
+        structure: object,
+        precomputed: dict[str, object],
+        config: OptimizationConfig,
+        pass_log: list[str],
+    ) -> None:
+        self.ir = ir
+        self.graph = graph
+        self.structure = structure
+        self.precomputed = precomputed
+        self.config = config
+        self.pass_log = pass_log
+        self._superbatch_ir: DataFlowGraph | None = None
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        frontiers: np.ndarray,
+        *,
+        tensors: dict[str, np.ndarray] | None = None,
+        ctx: ExecutionContext = NULL_CONTEXT,
+        rng: np.random.Generator | None = None,
+    ) -> object:
+        """Execute one mini-batch; returns values shaped like the trace."""
+        rng = rng if rng is not None else new_rng(None)
+        interp = Interpreter(self.ir, ctx, precomputed=self.precomputed)
+        inputs: dict[str, object] = {"A": self.graph, "frontiers": np.asarray(frontiers)}
+        inputs.update(tensors or {})
+        outputs = interp.run(inputs, rng)
+        return _unflatten(self.structure, outputs)
+
+    # ------------------------------------------------------------------
+    def superbatch_ir(self) -> DataFlowGraph:
+        """The IR rewritten for super-batched execution (cached)."""
+        if self._superbatch_ir is None:
+            cloned = self.ir.clone()
+            SuperBatchPass().run(cloned)
+            cloned.validate()
+            self._superbatch_ir = cloned
+        return self._superbatch_ir
+
+    def run_superbatch(
+        self,
+        frontier_batches: Sequence[np.ndarray],
+        *,
+        tensors: dict[str, np.ndarray] | None = None,
+        ctx: ExecutionContext = NULL_CONTEXT,
+        rng: np.random.Generator | None = None,
+    ) -> list[tuple[Matrix, np.ndarray]]:
+        """Sample several independent mini-batches in one launch sequence.
+
+        The compiled program must follow the standard one-layer contract
+        ``(sample_matrix, next_frontiers)``; each batch's results are
+        split back out and returned in order.
+        """
+        if self.structure != ("leaf", "leaf"):
+            raise TraceError(
+                "super-batching requires the (matrix, next_frontiers) "
+                "one-layer contract"
+            )
+        rng = rng if rng is not None else new_rng(None)
+        concat = np.concatenate([np.asarray(b) for b in frontier_batches])
+        batch_ptr = np.zeros(len(frontier_batches) + 1, dtype=np.int64)
+        np.cumsum([len(b) for b in frontier_batches], out=batch_ptr[1:])
+        ir = self.superbatch_ir()
+        interp = Interpreter(ir, ctx, precomputed=self.precomputed)
+        inputs: dict[str, object] = {
+            "A": self.graph,
+            "frontiers": concat,
+            "_batch_ptr": batch_ptr,
+        }
+        inputs.update(tensors or {})
+        outputs = interp.run(inputs, rng)
+        matrix = outputs[0]
+        assert isinstance(matrix, Matrix)
+        pieces = superbatch_ops.split_sample(
+            matrix, batch_ptr, self.graph.shape[0], ctx
+        )
+        return [(piece, piece.row()) for piece in pieces]
+
+    # ------------------------------------------------------------------
+    def choose_superbatch_size(
+        self,
+        example_batch: np.ndarray,
+        *,
+        memory_budget: int,
+        tensors: dict[str, np.ndarray] | None = None,
+        max_size: int = 64,
+    ) -> int:
+        """Grid-search the largest super-batch fitting the memory budget.
+
+        Mirrors the paper: the user gives a sampling memory budget and
+        gSampler probes batch multiples, measuring the simulated peak
+        memory of each, and keeps the largest that fits.
+        """
+        best = 1
+        size = 2
+        while size <= max_size:
+            probe_ctx = ExecutionContext()
+            try:
+                self.run_superbatch(
+                    [example_batch] * size,
+                    tensors=tensors,
+                    ctx=probe_ctx,
+                    rng=new_rng(0),
+                )
+            except (TraceError, MemoryBudgetError):
+                break
+            if probe_ctx.memory.peak_bytes > memory_budget:
+                break
+            best = size
+            size *= 2
+        return best
+
+
+def compile_sampler(
+    fn: Callable,
+    graph: Matrix,
+    example_frontiers: np.ndarray,
+    *,
+    constants: dict | None = None,
+    tensors: dict[str, np.ndarray] | None = None,
+    config: OptimizationConfig | None = None,
+) -> CompiledSampler:
+    """Trace ``fn`` and apply the configured optimization passes."""
+    config = config if config is not None else OptimizationConfig()
+    ir, info = trace(
+        fn, graph, example_frontiers, constants=constants, tensors=tensors
+    )
+    precomputed: dict[str, object] = {}
+    pass_log: list[str] = []
+    if config.computation:
+        manager = PassManager(
+            [
+                DeadCodeElimination(),
+                CommonSubexpressionElimination(),
+                PreprocessPass(graph, precomputed),
+                ExtractSelectFusion(),
+                ExtractReduceFusion(),
+                EdgeMapFusion(),
+                EdgeMapReduceFusion(),
+            ]
+        )
+        report = manager.run(ir)
+        pass_log.extend(report.applied)
+    layout_pass = (
+        LayoutSelectionPass() if config.layout else GreedyLayoutPass()
+    )
+    if layout_pass.run(ir):
+        pass_log.append(layout_pass.name)
+    ir.validate()
+    return CompiledSampler(
+        ir,
+        graph,
+        structure=info["structure"],
+        precomputed=precomputed,
+        config=config,
+        pass_log=pass_log,
+    )
+
+
+def _unflatten(structure: object, flat: list[object]) -> object:
+    """Rebuild the traced return structure from flat output values."""
+    def build(s: object, it: iter) -> object:
+        if s == "leaf":
+            return next(it)
+        assert isinstance(s, tuple)
+        return tuple(build(child, it) for child in s)
+
+    iterator = iter(flat)
+    return build(structure, iterator)

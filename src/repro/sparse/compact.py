@@ -1,0 +1,218 @@
+"""Graph compaction: isolated-node removal and id relabeling.
+
+The extract step keeps the original row dimension, so ``A[:, frontiers]``
+can carry a huge number of isolated row nodes that connect to no frontier
+(Section 4.3).  Compaction removes them, shrinking every downstream kernel
+— at the price of a global-to-local id conversion pass.  The layout
+selection pass weighs that trade-off; this module supplies the mechanism.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.device import NULL_CONTEXT, ExecutionContext
+from repro.errors import FormatError
+from repro.sparse.formats import (
+    COO,
+    CSC,
+    CSR,
+    INDEX_DTYPE,
+    SparseFormat,
+)
+from repro.sparse import kernels
+
+
+@dataclasses.dataclass
+class CompactResult:
+    """A compacted matrix plus the local→global id map for each axis.
+
+    ``row_ids[i]`` is the original row index of compacted row ``i``;
+    ``col_ids`` likewise (``None`` when the axis was left untouched).
+    """
+
+    matrix: SparseFormat
+    row_ids: np.ndarray | None
+    col_ids: np.ndarray | None
+
+
+def occupied_rows(
+    matrix: SparseFormat, ctx: ExecutionContext = NULL_CONTEXT
+) -> np.ndarray:
+    """Sorted original indices of rows that carry at least one edge."""
+    if isinstance(matrix, CSR):
+        out = np.flatnonzero(matrix.row_degrees() > 0).astype(INDEX_DTYPE)
+        ctx.record(
+            "occupied_rows",
+            bytes_read=matrix.indptr.nbytes,
+            bytes_written=out.nbytes,
+            flops=matrix.shape[0],
+            tasks=max(matrix.shape[0], 1),
+        )
+        return out
+    rows, _ = kernels.edge_endpoints(matrix, ctx)
+    out = np.unique(rows)
+    ctx.record(
+        "occupied_rows",
+        bytes_read=rows.nbytes,
+        bytes_written=out.nbytes,
+        flops=max(matrix.nnz, 1) * max(1.0, np.log2(max(matrix.nnz, 2))),
+        tasks=max(matrix.nnz, 1),
+    )
+    return out
+
+
+def occupied_cols(
+    matrix: SparseFormat, ctx: ExecutionContext = NULL_CONTEXT
+) -> np.ndarray:
+    """Sorted original indices of columns that carry at least one edge."""
+    if isinstance(matrix, CSC):
+        out = np.flatnonzero(matrix.col_degrees() > 0).astype(INDEX_DTYPE)
+        ctx.record(
+            "occupied_cols",
+            bytes_read=matrix.indptr.nbytes,
+            bytes_written=out.nbytes,
+            flops=matrix.shape[1],
+            tasks=max(matrix.shape[1], 1),
+        )
+        return out
+    _, cols = kernels.edge_endpoints(matrix, ctx)
+    out = np.unique(cols)
+    ctx.record(
+        "occupied_cols",
+        bytes_read=cols.nbytes,
+        bytes_written=out.nbytes,
+        flops=max(matrix.nnz, 1) * max(1.0, np.log2(max(matrix.nnz, 2))),
+        tasks=max(matrix.nnz, 1),
+    )
+    return out
+
+
+def compact_rows(
+    matrix: SparseFormat,
+    ctx: ExecutionContext = NULL_CONTEXT,
+    keep_rows: np.ndarray | None = None,
+) -> CompactResult:
+    """Drop isolated rows, renumbering survivors to ``0..R-1``.
+
+    ``keep_rows`` overrides the survivor set (used by collective_sample,
+    where the rows to keep come from the sampler rather than occupancy).
+    """
+    rows_to_keep = occupied_rows(matrix, ctx) if keep_rows is None else keep_rows
+    rows_to_keep = np.asarray(rows_to_keep, dtype=INDEX_DTYPE)
+    new_matrix = _relabel_rows(matrix, rows_to_keep, ctx)
+    return CompactResult(matrix=new_matrix, row_ids=rows_to_keep, col_ids=None)
+
+
+def compact_cols(
+    matrix: SparseFormat,
+    ctx: ExecutionContext = NULL_CONTEXT,
+    keep_cols: np.ndarray | None = None,
+) -> CompactResult:
+    """Drop isolated columns, renumbering survivors to ``0..C-1``."""
+    cols_to_keep = occupied_cols(matrix, ctx) if keep_cols is None else keep_cols
+    cols_to_keep = np.asarray(cols_to_keep, dtype=INDEX_DTYPE)
+    new_matrix = _relabel_cols(matrix, cols_to_keep, ctx)
+    return CompactResult(matrix=new_matrix, row_ids=None, col_ids=cols_to_keep)
+
+
+def _relabel_rows(
+    matrix: SparseFormat, keep: np.ndarray, ctx: ExecutionContext
+) -> SparseFormat:
+    lut = np.full(matrix.shape[0], -1, dtype=INDEX_DTYPE)
+    lut[keep] = np.arange(len(keep), dtype=INDEX_DTYPE)
+    if isinstance(matrix, COO):
+        new_rows = lut[matrix.rows]
+        mask = new_rows >= 0
+        out: SparseFormat = COO(
+            rows=new_rows[mask],
+            cols=matrix.cols[mask],
+            values=None if matrix.values is None else matrix.values[mask],
+            shape=(len(keep), matrix.shape[1]),
+            edge_ids=None if matrix.edge_ids is None else matrix.edge_ids[mask],
+        )
+    elif isinstance(matrix, CSC):
+        new_rows = lut[matrix.rows]
+        mask = new_rows >= 0
+        kept_per_col = _kept_per_segment(mask, matrix.indptr)
+        indptr = np.zeros(matrix.shape[1] + 1, dtype=INDEX_DTYPE)
+        np.cumsum(kept_per_col, out=indptr[1:])
+        out = CSC(
+            indptr=indptr,
+            rows=new_rows[mask],
+            values=None if matrix.values is None else matrix.values[mask],
+            shape=(len(keep), matrix.shape[1]),
+            edge_ids=None if matrix.edge_ids is None else matrix.edge_ids[mask],
+        )
+    elif isinstance(matrix, CSR):
+        sliced = kernels.slice_rows(matrix, keep, ctx)
+        assert isinstance(sliced, CSR)
+        out = sliced
+        return out
+    else:
+        raise FormatError(f"unknown sparse container {type(matrix).__name__}")
+    ctx.record(
+        "compact_rows",
+        bytes_read=matrix.nbytes() + keep.nbytes,
+        bytes_written=out.nbytes() + matrix.shape[0] * _id_bytes(),
+        flops=matrix.nnz + matrix.shape[0],
+        tasks=max(matrix.nnz, 1),
+    )
+    return out
+
+
+def _relabel_cols(
+    matrix: SparseFormat, keep: np.ndarray, ctx: ExecutionContext
+) -> SparseFormat:
+    lut = np.full(matrix.shape[1], -1, dtype=INDEX_DTYPE)
+    lut[keep] = np.arange(len(keep), dtype=INDEX_DTYPE)
+    if isinstance(matrix, COO):
+        new_cols = lut[matrix.cols]
+        mask = new_cols >= 0
+        out: SparseFormat = COO(
+            rows=matrix.rows[mask],
+            cols=new_cols[mask],
+            values=None if matrix.values is None else matrix.values[mask],
+            shape=(matrix.shape[0], len(keep)),
+            edge_ids=None if matrix.edge_ids is None else matrix.edge_ids[mask],
+        )
+    elif isinstance(matrix, CSR):
+        new_cols = lut[matrix.cols]
+        mask = new_cols >= 0
+        kept_per_row = _kept_per_segment(mask, matrix.indptr)
+        indptr = np.zeros(matrix.shape[0] + 1, dtype=INDEX_DTYPE)
+        np.cumsum(kept_per_row, out=indptr[1:])
+        out = CSR(
+            indptr=indptr,
+            cols=new_cols[mask],
+            values=None if matrix.values is None else matrix.values[mask],
+            shape=(matrix.shape[0], len(keep)),
+            edge_ids=None if matrix.edge_ids is None else matrix.edge_ids[mask],
+        )
+    elif isinstance(matrix, CSC):
+        sliced = kernels.slice_columns(matrix, keep, ctx)
+        assert isinstance(sliced, CSC)
+        return sliced
+    else:
+        raise FormatError(f"unknown sparse container {type(matrix).__name__}")
+    ctx.record(
+        "compact_cols",
+        bytes_read=matrix.nbytes() + keep.nbytes,
+        bytes_written=out.nbytes() + matrix.shape[1] * _id_bytes(),
+        flops=matrix.nnz + matrix.shape[1],
+        tasks=max(matrix.nnz, 1),
+    )
+    return out
+
+
+def _kept_per_segment(mask: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Count of surviving edges per indptr segment."""
+    csum = np.zeros(len(mask) + 1, dtype=INDEX_DTYPE)
+    np.cumsum(mask, out=csum[1:])
+    return csum[indptr[1:]] - csum[indptr[:-1]]
+
+
+def _id_bytes() -> int:
+    return INDEX_DTYPE().itemsize

@@ -1,0 +1,269 @@
+"""Sparse storage formats: COO, CSR, and CSC.
+
+gSampler stores graphs and intermediate matrices in one of three sparse
+layouts (Section 4.3): compressed sparse row (CSR, out-neighbors of each
+node consecutive), compressed sparse column (CSC, in-neighbors
+consecutive), and coordinate list (COO, a flat edge list).  Different
+operators prefer different layouts — Table 5 of the paper quantifies this
+for LADIES — and the layout-selection pass chooses among them.
+
+A matrix entry ``A[u, v]`` is an edge ``u -> v``; the row of ``v`` holds
+its out-going edges and the column of ``v`` its in-coming edges, matching
+the paper's convention.  All formats carry:
+
+* ``values`` — per-edge weights, or ``None`` for an unweighted graph
+  (implicitly all ones),
+* ``edge_ids`` — per-edge ids into the *original* graph's edge array, or
+  ``None`` for the identity.  Conversions and slices permute these along
+  with the values, so per-edge features stay addressable and the
+  pre-processing pass can substitute pre-computed edge data.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import FormatError, ShapeError
+
+#: dtype used for all index arrays.
+INDEX_DTYPE = np.int64
+#: dtype used for all edge values.
+VALUE_DTYPE = np.float32
+
+#: Canonical layout names, in the order used by cost tables.
+LAYOUTS = ("csc", "coo", "csr")
+
+
+def as_index_array(data: object) -> np.ndarray:
+    """Coerce ``data`` to a 1-D int64 index array (copying only if needed)."""
+    arr = np.asarray(data, dtype=INDEX_DTYPE)
+    if arr.ndim != 1:
+        raise ShapeError(f"index array must be 1-D, got shape {arr.shape}")
+    return arr
+
+
+def as_value_array(data: object) -> np.ndarray:
+    """Coerce ``data`` to a 1-D float32 value array."""
+    arr = np.asarray(data, dtype=VALUE_DTYPE)
+    if arr.ndim != 1:
+        raise ShapeError(f"value array must be 1-D, got shape {arr.shape}")
+    return arr
+
+
+def _check_shape(shape: tuple[int, int]) -> tuple[int, int]:
+    if len(shape) != 2 or shape[0] < 0 or shape[1] < 0:
+        raise ShapeError(f"matrix shape must be two non-negative ints, got {shape}")
+    return (int(shape[0]), int(shape[1]))
+
+
+@dataclasses.dataclass
+class COO:
+    """Coordinate-list storage: parallel ``rows``/``cols`` edge arrays."""
+
+    rows: np.ndarray
+    cols: np.ndarray
+    values: np.ndarray | None
+    shape: tuple[int, int]
+    edge_ids: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.rows = as_index_array(self.rows)
+        self.cols = as_index_array(self.cols)
+        self.shape = _check_shape(self.shape)
+        if self.rows.shape != self.cols.shape:
+            raise ShapeError("rows and cols must have equal length")
+        if self.values is not None:
+            self.values = as_value_array(self.values)
+            if len(self.values) != len(self.rows):
+                raise ShapeError("values length must equal nnz")
+        if self.edge_ids is not None:
+            self.edge_ids = as_index_array(self.edge_ids)
+            if len(self.edge_ids) != len(self.rows):
+                raise ShapeError("edge_ids length must equal nnz")
+        if len(self.rows) and (
+            self.rows.max(initial=-1) >= self.shape[0]
+            or self.cols.max(initial=-1) >= self.shape[1]
+        ):
+            raise ShapeError("edge endpoint out of bounds for shape")
+
+    @property
+    def nnz(self) -> int:
+        return len(self.rows)
+
+    @property
+    def layout(self) -> str:
+        return "coo"
+
+    def nbytes(self) -> int:
+        """Bytes of device storage this container occupies."""
+        total = self.rows.nbytes + self.cols.nbytes
+        if self.values is not None:
+            total += self.values.nbytes
+        if self.edge_ids is not None:
+            total += self.edge_ids.nbytes
+        return total
+
+
+@dataclasses.dataclass
+class CSR:
+    """Compressed sparse row: per-row slices of column indices."""
+
+    indptr: np.ndarray
+    cols: np.ndarray
+    values: np.ndarray | None
+    shape: tuple[int, int]
+    edge_ids: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.indptr = as_index_array(self.indptr)
+        self.cols = as_index_array(self.cols)
+        self.shape = _check_shape(self.shape)
+        if len(self.indptr) != self.shape[0] + 1:
+            raise ShapeError(
+                f"indptr length {len(self.indptr)} != rows + 1 = {self.shape[0] + 1}"
+            )
+        if self.indptr[0] != 0 or self.indptr[-1] != len(self.cols):
+            raise FormatError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise FormatError("indptr must be non-decreasing")
+        if self.values is not None:
+            self.values = as_value_array(self.values)
+            if len(self.values) != len(self.cols):
+                raise ShapeError("values length must equal nnz")
+        if self.edge_ids is not None:
+            self.edge_ids = as_index_array(self.edge_ids)
+            if len(self.edge_ids) != len(self.cols):
+                raise ShapeError("edge_ids length must equal nnz")
+
+    @property
+    def nnz(self) -> int:
+        return len(self.cols)
+
+    @property
+    def layout(self) -> str:
+        return "csr"
+
+    def row_degrees(self) -> np.ndarray:
+        """Edge count of every row."""
+        return np.diff(self.indptr)
+
+    def expand_rows(self) -> np.ndarray:
+        """Per-edge row indices (the COO ``rows`` array for this layout)."""
+        return np.repeat(
+            np.arange(self.shape[0], dtype=INDEX_DTYPE), self.row_degrees()
+        )
+
+    def nbytes(self) -> int:
+        total = self.indptr.nbytes + self.cols.nbytes
+        if self.values is not None:
+            total += self.values.nbytes
+        if self.edge_ids is not None:
+            total += self.edge_ids.nbytes
+        return total
+
+
+@dataclasses.dataclass
+class CSC:
+    """Compressed sparse column: per-column slices of row indices."""
+
+    indptr: np.ndarray
+    rows: np.ndarray
+    values: np.ndarray | None
+    shape: tuple[int, int]
+    edge_ids: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.indptr = as_index_array(self.indptr)
+        self.rows = as_index_array(self.rows)
+        self.shape = _check_shape(self.shape)
+        if len(self.indptr) != self.shape[1] + 1:
+            raise ShapeError(
+                f"indptr length {len(self.indptr)} != cols + 1 = {self.shape[1] + 1}"
+            )
+        if self.indptr[0] != 0 or self.indptr[-1] != len(self.rows):
+            raise FormatError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise FormatError("indptr must be non-decreasing")
+        if self.values is not None:
+            self.values = as_value_array(self.values)
+            if len(self.values) != len(self.rows):
+                raise ShapeError("values length must equal nnz")
+        if self.edge_ids is not None:
+            self.edge_ids = as_index_array(self.edge_ids)
+            if len(self.edge_ids) != len(self.rows):
+                raise ShapeError("edge_ids length must equal nnz")
+
+    @property
+    def nnz(self) -> int:
+        return len(self.rows)
+
+    @property
+    def layout(self) -> str:
+        return "csc"
+
+    def col_degrees(self) -> np.ndarray:
+        """Edge count of every column (in-degree of each column node)."""
+        return np.diff(self.indptr)
+
+    def expand_cols(self) -> np.ndarray:
+        """Per-edge column indices (the COO ``cols`` array)."""
+        return np.repeat(
+            np.arange(self.shape[1], dtype=INDEX_DTYPE), self.col_degrees()
+        )
+
+    def nbytes(self) -> int:
+        total = self.indptr.nbytes + self.rows.nbytes
+        if self.values is not None:
+            total += self.values.nbytes
+        if self.edge_ids is not None:
+            total += self.edge_ids.nbytes
+        return total
+
+
+#: Union of the three storage containers.
+SparseFormat = COO | CSR | CSC
+
+
+def edge_values(matrix: SparseFormat) -> np.ndarray:
+    """The per-edge value array, materializing implicit ones if needed."""
+    if matrix.values is not None:
+        return matrix.values
+    return np.ones(matrix.nnz, dtype=VALUE_DTYPE)
+
+
+def edge_ids_or_identity(matrix: SparseFormat) -> np.ndarray:
+    """The per-edge id array, materializing the identity if needed."""
+    if matrix.edge_ids is not None:
+        return matrix.edge_ids
+    return np.arange(matrix.nnz, dtype=INDEX_DTYPE)
+
+
+def gather_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(s, s + l)`` for every (start, length) pair.
+
+    This is the core gather primitive behind CSC/CSR slicing: given the
+    start offset and length of each selected row/column, it produces the
+    flat positions of their edges without a Python loop.
+    """
+    starts = as_index_array(starts)
+    lengths = as_index_array(lengths)
+    if starts.shape != lengths.shape:
+        raise ShapeError("starts and lengths must have equal length")
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=INDEX_DTYPE)
+    # Standard vectorized "ragged arange": offsets within each segment are
+    # produced by subtracting the segment-start positions from a global
+    # arange.
+    out = np.ones(total, dtype=INDEX_DTYPE)
+    seg_starts = np.zeros(len(lengths), dtype=INDEX_DTYPE)
+    np.cumsum(lengths[:-1], out=seg_starts[1:])
+    out[seg_starts[lengths > 0]] = starts[lengths > 0]
+    nonempty = np.flatnonzero(lengths > 0)
+    if len(nonempty) > 1:
+        prev = nonempty[:-1]
+        cur = nonempty[1:]
+        out[seg_starts[cur]] = starts[cur] - (starts[prev] + lengths[prev]) + 1
+    return np.cumsum(out)

@@ -1,0 +1,59 @@
+"""CLI tests: commands produce the expected tables and exit codes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListing:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "pd" in out and "fs" in out
+
+    def test_algorithms(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "ladies" in out and "graphsage" in out
+        assert len(out.strip().splitlines()) == 15
+
+    def test_systems(self, capsys):
+        assert main(["systems"]) == 0
+        assert "skywalker" in capsys.readouterr().out
+
+
+class TestSample:
+    def test_sample_cell(self, capsys):
+        code = main(
+            [
+                "sample",
+                "--algorithm", "graphsage",
+                "--dataset", "pd",
+                "--scale", "0.1",
+                "--max-batches", "2",
+                "--batch-size", "128",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "epoch time (simulated ms)" in out
+        assert "SM utilization" in out
+
+    def test_unsupported_cell_exits_nonzero(self, capsys):
+        code = main(
+            [
+                "sample",
+                "--system", "gunrock",
+                "--algorithm", "ladies",
+                "--dataset", "pd",
+                "--scale", "0.1",
+            ]
+        )
+        assert code == 1
+        assert "does not support" in capsys.readouterr().out
+
+    def test_bad_system_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sample", "--system", "nextdoor"])

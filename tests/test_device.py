@@ -1,0 +1,175 @@
+"""Device simulator tests: specs, memory pool, and launch ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device import (
+    CPU,
+    T4,
+    V100,
+    DeviceSpec,
+    ExecutionContext,
+    MemoryPool,
+    NullContext,
+    get_device,
+)
+from repro.errors import DeviceError, MemoryBudgetError
+
+
+class TestDeviceSpec:
+    def test_registry(self):
+        assert get_device("v100") is V100
+        assert get_device("T4") is T4
+        with pytest.raises(DeviceError):
+            get_device("h100")
+
+    def test_t4_matches_paper_ratios(self):
+        """The paper states T4 has 30.0% of V100's bandwidth and 51.6% of
+        its FLOPs."""
+        assert T4.bandwidth / V100.bandwidth == pytest.approx(0.300)
+        assert T4.flops / V100.flops == pytest.approx(0.516)
+
+    def test_kernel_time_is_roofline(self):
+        # Memory-bound: time follows bytes.
+        t_mem = V100.kernel_time(bytes_moved=1e9, flops=1.0, tasks=10**6)
+        assert t_mem == pytest.approx(V100.launch_overhead + 1e9 / V100.bandwidth)
+        # Compute-bound: time follows flops.
+        t_cmp = V100.kernel_time(bytes_moved=1.0, flops=1e12, tasks=10**6)
+        assert t_cmp == pytest.approx(V100.launch_overhead + 1e12 / V100.flops)
+
+    def test_occupancy_scales_small_kernels(self):
+        busy = V100.kernel_time(bytes_moved=1e6, flops=0, tasks=V100.saturation_tasks)
+        starved = V100.kernel_time(bytes_moved=1e6, flops=0, tasks=100)
+        assert starved > busy
+
+    def test_occupancy_floor(self):
+        assert V100.occupancy(0) == V100.min_occupancy
+        assert V100.occupancy(10**9) == 1.0
+
+    def test_divergence_multiplies_time(self):
+        # Divergence scales the execution portion, not the fixed launch
+        # overhead.
+        base = V100.kernel_time(bytes_moved=1e9, flops=0, tasks=10**6)
+        diverged = V100.kernel_time(
+            bytes_moved=1e9, flops=0, tasks=10**6, divergence=3.0
+        )
+        overhead = V100.launch_overhead
+        assert diverged - overhead == pytest.approx(3.0 * (base - overhead))
+
+    def test_uva_traffic_charged_at_pcie(self):
+        resident = V100.kernel_time(bytes_moved=1e6, flops=0, tasks=10**6)
+        uva = V100.kernel_time(
+            bytes_moved=1e6, flops=0, tasks=10**6, uva_bytes=1e6
+        )
+        assert uva > resident
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(DeviceError):
+            DeviceSpec(
+                name="bad", bandwidth=-1, flops=1, launch_overhead=0,
+                saturation_tasks=1, min_occupancy=0.5, memory_capacity=1,
+            )
+
+    def test_cpu_much_slower_than_gpu(self):
+        """GPU sampling beats CPU by orders of magnitude (paper: up to
+        702x end to end)."""
+        kwargs = dict(bytes_moved=1e8, flops=1e8, tasks=10**6)
+        assert CPU.kernel_time(**kwargs) > 50 * V100.kernel_time(**kwargs)
+
+
+class TestMemoryPool:
+    def test_alloc_free_cycle(self):
+        pool = MemoryPool()
+        h = pool.alloc(1000, tag="x")
+        assert pool.live_bytes == 1024  # rounded to the 512-byte granule
+        pool.free(h)
+        assert pool.live_bytes == 0
+        assert pool.cached_bytes == 1024
+
+    def test_peak_tracking(self):
+        pool = MemoryPool()
+        handles = [pool.alloc(512) for _ in range(4)]
+        assert pool.peak_bytes == 4 * 512
+        for h in handles:
+            pool.free(h)
+        pool.trim()
+        assert pool.peak_bytes == 4 * 512  # peak survives frees
+
+    def test_recycling(self):
+        pool = MemoryPool()
+        pool.free(pool.alloc(512))
+        pool.alloc(512)
+        assert pool.recycle_count == 1
+
+    def test_double_free_rejected(self):
+        pool = MemoryPool()
+        h = pool.alloc(100)
+        pool.free(h)
+        with pytest.raises(DeviceError):
+            pool.free(h)
+
+    def test_capacity_enforced(self):
+        pool = MemoryPool(capacity=1024)
+        pool.alloc(512)
+        with pytest.raises(MemoryBudgetError):
+            pool.alloc(1024)
+
+    def test_trim_releases_cache_for_capacity(self):
+        pool = MemoryPool(capacity=1024)
+        pool.free(pool.alloc(512))
+        pool.alloc(1024)  # must trim the cached 512 block to fit
+
+
+class TestExecutionContext:
+    def test_ledger_accumulates(self):
+        ctx = ExecutionContext(V100)
+        ctx.record("a", bytes_read=1e6, tasks=1000)
+        ctx.record("a", bytes_read=1e6, tasks=1000)
+        ctx.record("b", flops=1e9, tasks=1000)
+        assert ctx.launch_count() == 3
+        assert set(ctx.time_by_kernel()) == {"a", "b"}
+        assert ctx.elapsed == pytest.approx(
+            sum(l.seconds for l in ctx.launches)
+        )
+
+    def test_uva_only_when_graph_on_host(self):
+        on_device = ExecutionContext(V100, graph_on_device=True)
+        launch = on_device.record("k", bytes_read=1e6, graph_bytes=1e6)
+        assert launch.uva_bytes == 0.0
+        on_host = ExecutionContext(V100, graph_on_device=False)
+        launch = on_host.record("k", bytes_read=1e6, graph_bytes=1e6)
+        assert launch.uva_bytes == 1e6
+
+    def test_cost_scale(self):
+        fast = ExecutionContext(V100)
+        slow = ExecutionContext(V100, cost_scale=2.0)
+        a = fast.record("k", bytes_read=1e9, tasks=10**6)
+        b = slow.record("k", bytes_read=1e9, tasks=10**6)
+        assert b.seconds > 1.5 * a.seconds
+
+    def test_sm_utilization_weighted_by_occupancy(self):
+        ctx = ExecutionContext(V100)
+        ctx.record("big", bytes_read=1e9, tasks=10**9)
+        assert ctx.sm_utilization() == pytest.approx(100.0)
+        small = ExecutionContext(V100)
+        small.record("tiny", bytes_read=1e9, tasks=10)
+        assert small.sm_utilization() < 10.0
+
+    def test_fixed_seconds(self):
+        ctx = ExecutionContext(V100)
+        launch = ctx.record("bulk", fixed_seconds=0.5)
+        assert launch.seconds > 0.5
+
+    def test_reset(self):
+        ctx = ExecutionContext(V100)
+        ctx.record("k", bytes_read=1.0)
+        ctx.reset()
+        assert ctx.launch_count() == 0
+        assert ctx.elapsed == 0.0
+
+    def test_null_context_records_nothing(self):
+        ctx = NullContext()
+        ctx.record("k", bytes_read=1e9)
+        assert ctx.launch_count() == 0
+        assert ctx.elapsed == 0.0

@@ -1,0 +1,125 @@
+"""Integration tests spanning the whole stack: datasets -> algorithms ->
+compiled execution -> training, across device models and placements."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import BENCHMARKED, make_algorithm
+from repro.baselines import make_system
+from repro.core import GraphSample, new_rng
+from repro.datasets import load_dataset
+from repro.device import CPU, ExecutionContext, T4, V100
+from repro.learning import GraphSAGEModel, Trainer, to_dgl_graph
+
+
+@pytest.fixture(scope="module")
+def pd():
+    return load_dataset("pd", scale=0.1)
+
+
+@pytest.fixture(scope="module")
+def pp():
+    return load_dataset("pp", scale=0.25)
+
+
+@pytest.mark.parametrize("name", BENCHMARKED)
+def test_benchmarked_algorithms_on_catalog_dataset(pd, name):
+    """Each paper-benchmarked algorithm runs on a catalog dataset and
+    produces edges drawn from the graph."""
+    algo = make_algorithm(name)
+    features = pd.features if name in ("asgcn", "pass") else None
+    pipe = algo.build(pd.graph, pd.train_ids[:64], features=features)
+    ctx = ExecutionContext(V100)
+    out = pipe.sample_batch(pd.train_ids[:64], ctx=ctx, rng=new_rng(0))
+    assert ctx.elapsed > 0
+    assert ctx.launch_count() > 0
+
+
+def test_uva_dataset_charges_pcie(pp):
+    """Host-resident graphs must generate PCIe (UVA) traffic."""
+    pipe = make_algorithm("graphsage").build(pp.graph, pp.train_ids[:64])
+    ctx = ExecutionContext(V100, graph_on_device=False)
+    pipe.sample_batch(pp.train_ids[:64], ctx=ctx, rng=new_rng(1))
+    assert sum(l.uva_bytes for l in ctx.launches) > 0
+    resident = ExecutionContext(V100, graph_on_device=True)
+    pipe.sample_batch(pp.train_ids[:64], ctx=resident, rng=new_rng(1))
+    assert sum(l.uva_bytes for l in resident.launches) == 0
+
+
+def test_t4_slower_than_v100(pd):
+    pipe = make_algorithm("ladies", layer_width=64).build(
+        pd.graph, pd.train_ids[:128]
+    )
+    t4_ctx, v100_ctx = ExecutionContext(T4), ExecutionContext(V100)
+    pipe.sample_batch(pd.train_ids[:128], ctx=t4_ctx, rng=new_rng(2))
+    pipe.sample_batch(pd.train_ids[:128], ctx=v100_ctx, rng=new_rng(2))
+    assert t4_ctx.elapsed > v100_ctx.elapsed
+
+
+def test_cpu_much_slower_than_gpu_end_to_end(pd):
+    pipe = make_algorithm("graphsage").build(pd.graph, pd.train_ids[:128])
+    cpu_ctx, gpu_ctx = ExecutionContext(CPU), ExecutionContext(V100)
+    pipe.sample_batch(pd.train_ids[:128], ctx=cpu_ctx, rng=new_rng(3))
+    pipe.sample_batch(pd.train_ids[:128], ctx=gpu_ctx, rng=new_rng(3))
+    assert cpu_ctx.elapsed > 20 * gpu_ctx.elapsed
+
+
+def test_sample_to_dgl_block_to_training(pd):
+    """The interop path: sample -> DGL-style block -> aggregate."""
+    pipe = make_algorithm("graphsage", fanouts=(4,)).build(
+        pd.graph, pd.train_ids[:32]
+    )
+    sample = pipe.sample_batch(pd.train_ids[:32], rng=new_rng(4))
+    block = to_dgl_graph(sample.layers[0].matrix)
+    # Mean-aggregate features through the block, PyTorch-style.
+    agg = np.zeros((len(block.dst_nodes), pd.features.shape[1]))
+    np.add.at(agg, block.edges_dst, pd.features[block.src_nodes[block.edges_src]])
+    assert np.isfinite(agg).all()
+
+
+def test_full_training_pipeline_with_superbatch_sampling(pd):
+    """Super-batched sampling feeds the same trainer without changes."""
+    algo = make_algorithm("graphsage", fanouts=(4, 4))
+    pipe = algo.build(pd.graph, pd.train_ids[:64])
+    batches = [pd.train_ids[:64], pd.train_ids[64:128]]
+    ctx = ExecutionContext(V100)
+    samples = pipe.sample_superbatch(batches, ctx=ctx, rng=new_rng(5))
+    assert len(samples) == 2
+    rng = np.random.default_rng(0)
+    model = GraphSAGEModel(
+        pd.features.shape[1], 16, pd.num_classes, num_layers=2, rng=rng
+    )
+    for sample, batch in zip(samples, batches):
+        assert isinstance(sample, GraphSample)
+        logits = model.forward(sample, pd.features)
+        assert logits.shape == (len(batch), pd.num_classes)
+
+
+def test_cross_system_samples_equally_valid(pd):
+    """Baselines produce samples with the same structural guarantees."""
+    seeds = pd.train_ids[:32]
+    for system_name in ("gsampler", "dgl-gpu", "skywalker"):
+        system = make_system(system_name)
+        pipe = system.build_pipeline("graphsage", pd, seeds)
+        out = pipe.sample_batch(seeds, ctx=ExecutionContext(V100), rng=new_rng(6))
+        layer = out.layers[0]
+        assert layer.num_edges <= 5 * len(seeds)
+        assert set(np.unique(layer.matrix.to_coo_arrays()[1])) <= set(
+            seeds.tolist()
+        )
+
+
+def test_epoch_over_every_dataset():
+    """One sampling epoch on each catalog stand-in completes."""
+    from repro.bench import run_sampling_epoch
+    from repro.baselines import GSamplerSystem
+
+    for name in ("lj", "pd", "pp", "fs"):
+        ds = load_dataset(name, scale=0.1)
+        stats = run_sampling_epoch(
+            GSamplerSystem(), "graphsage", ds, device=V100,
+            batch_size=256, max_batches=2,
+        )
+        assert stats.sim_seconds > 0, name

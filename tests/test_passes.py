@@ -1,0 +1,236 @@
+"""Optimization-pass tests: DCE, CSE, the three fusions, pre-processing,
+layout selection — and end-to-end result equivalence with eager mode."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import new_rng
+from repro.device import ExecutionContext, V100
+from repro.ir.passes import (
+    CommonSubexpressionElimination,
+    DeadCodeElimination,
+    EdgeMapFusion,
+    EdgeMapReduceFusion,
+    ExtractSelectFusion,
+    LayoutSelectionPass,
+)
+from repro.ir.trace import trace
+from repro.sampler import OptimizationConfig, compile_sampler
+
+from tests.conftest import to_dense
+
+
+def _ops(ir):
+    return [n.op for n in ir.nodes()]
+
+
+def sage_layer(A, frontiers, K):
+    sub_A = A[:, frontiers]
+    sample_A = sub_A.individual_sample(K)
+    return sample_A, sample_A.row()
+
+
+def ladies_layer(A, frontiers, K):
+    sub_A = A[:, frontiers]
+    row_probs = (sub_A ** 2).sum(axis=0)
+    sample_A = sub_A.collective_sample(K, row_probs)
+    select_probs = row_probs[sample_A.row()]
+    sample_A = sample_A.div(select_probs, axis=0)
+    sample_A = sample_A.div(sample_A.sum(axis=1), axis=1)
+    return sample_A, sample_A.row()
+
+
+class TestCleanupPasses:
+    def test_dce_removes_unused(self, small_graph):
+        def layer(A, frontiers, K):
+            sub = A[:, frontiers]
+            _unused = (sub ** 2).sum(axis=0)  # dead compute
+            s = sub.individual_sample(K)
+            return s, s.row()
+
+        ir, _ = trace(layer, small_graph, np.arange(4), constants={"K": 2})
+        assert "map_scalar" in _ops(ir)
+        DeadCodeElimination().run(ir)
+        assert "map_scalar" not in _ops(ir)
+        assert "reduce" not in _ops(ir)
+
+    def test_dce_keeps_inputs(self, small_graph):
+        def layer(A, frontiers, unused_tensor):
+            s = A[:, frontiers].individual_sample(2)
+            return s, s.row()
+
+        ir, _ = trace(
+            layer, small_graph, np.arange(4),
+            tensors={"unused_tensor": np.ones(3)},
+        )
+        DeadCodeElimination().run(ir)
+        assert "input_tensor" in _ops(ir)
+
+    def test_cse_merges_duplicate_slices(self, small_graph):
+        def layer(A, frontiers, K):
+            sub1 = A[:, frontiers]
+            sub2 = A[:, frontiers]  # identical expression
+            probs = (sub2 ** 2).sum(axis=0)
+            s = sub1.collective_sample(K, probs)
+            return s, s.row()
+
+        ir, _ = trace(layer, small_graph, np.arange(4), constants={"K": 2})
+        assert _ops(ir).count("slice_cols") == 2
+        CommonSubexpressionElimination().run(ir)
+        DeadCodeElimination().run(ir)
+        assert _ops(ir).count("slice_cols") == 1
+
+    def test_cse_never_merges_sampling(self, small_graph):
+        def layer(A, frontiers, K):
+            sub = A[:, frontiers]
+            s1 = sub.individual_sample(K)
+            s2 = sub.individual_sample(K)  # independent random draw!
+            return s1, s2.row()
+
+        ir, _ = trace(layer, small_graph, np.arange(4), constants={"K": 2})
+        CommonSubexpressionElimination().run(ir)
+        assert _ops(ir).count("individual_sample") == 2
+
+
+class TestFusionPasses:
+    def test_extract_select_fusion_applies(self, small_graph):
+        ir, _ = trace(sage_layer, small_graph, np.arange(4), constants={"K": 2})
+        assert ExtractSelectFusion().run(ir)
+        ops = _ops(ir)
+        assert "fused_extract_select" in ops
+        assert "slice_cols" not in ops
+        assert "individual_sample" not in ops
+
+    def test_extract_select_fusion_skips_shared_subgraph(self, small_graph):
+        def layer(A, frontiers, K):
+            sub = A[:, frontiers]
+            degrees = sub.sum(axis=1)  # second consumer of the subgraph
+            s = sub.individual_sample(K)
+            s = s.div(degrees, axis=1)
+            return s, s.row()
+
+        ir, _ = trace(layer, small_graph, np.arange(4), constants={"K": 2})
+        assert not ExtractSelectFusion().run(ir)
+
+    def test_extract_select_fusion_skips_probed_sampling(self, small_graph):
+        def layer(A, frontiers, K):
+            sub = A[:, frontiers]
+            s = sub.individual_sample(K, sub ** 2)
+            return s, s.row()
+
+        ir, _ = trace(layer, small_graph, np.arange(4), constants={"K": 2})
+        before = _ops(ir)
+        ExtractSelectFusion().run(ir)
+        assert _ops(ir) == before
+
+    def test_edge_map_fusion_chains(self, small_graph):
+        def layer(A, frontiers, K):
+            sub = A[:, frontiers]
+            att = ((sub * 2.0 + 1.0) ** 2).relu()
+            s = sub.individual_sample(K, att)
+            return s, s.row()
+
+        ir, _ = trace(layer, small_graph, np.arange(4), constants={"K": 2})
+        assert EdgeMapFusion().run(ir)
+        chain = next(n for n in ir.nodes() if n.op == "fused_map_chain")
+        assert [s["op"] for s in chain.attrs["steps"]] == [
+            "mul", "add", "pow", "relu",
+        ]
+
+    def test_edge_mapreduce_fusion(self, small_graph):
+        def layer(A, frontiers, K):
+            sub = A[:, frontiers]
+            probs = (sub ** 2).sum(axis=0)
+            s = sub.collective_sample(K, probs)
+            return s, s.row()
+
+        ir, _ = trace(layer, small_graph, np.arange(4), constants={"K": 2})
+        assert EdgeMapReduceFusion().run(ir)
+        fused = next(n for n in ir.nodes() if n.op == "fused_map_reduce")
+        assert fused.attrs["reduce_op"] == "sum"
+        assert fused.attrs["reduce_axis"] == 0
+
+
+class TestPreprocess:
+    def test_ladies_pow_is_hoisted(self, small_graph):
+        sampler = compile_sampler(
+            ladies_layer, small_graph, np.arange(8), constants={"K": 4}
+        )
+        assert len(sampler.precomputed) == 1
+        ops = _ops(sampler.ir)
+        assert "input_precomputed" in ops
+        # The hoisted matrix is A ** 2.
+        pre = next(iter(sampler.precomputed.values()))
+        np.testing.assert_allclose(
+            to_dense(pre), to_dense(small_graph) ** 2, rtol=1e-5
+        )
+
+    def test_fastgcn_degree_is_hoisted(self, small_graph):
+        def layer(A, frontiers, K):
+            sub = A[:, frontiers]
+            deg = A.sum(axis=0)
+            s = sub.collective_sample(K, deg * deg)
+            return s, s.row()
+
+        sampler = compile_sampler(
+            layer, small_graph, np.arange(8), constants={"K": 4}
+        )
+        pre = next(iter(sampler.precomputed.values()))
+        np.testing.assert_allclose(
+            pre, to_dense(small_graph).sum(axis=1), rtol=1e-4
+        )
+
+
+class TestLayoutSelection:
+    def test_structure_ops_get_layouts(self, small_graph):
+        ir, _ = trace(sage_layer, small_graph, np.arange(4), constants={"K": 2})
+        LayoutSelectionPass().run(ir)
+        for node in ir.nodes():
+            if node.op in ("slice_cols", "individual_sample"):
+                assert node.layout in ("csc", "csr", "coo")
+
+    def test_compute_ops_have_no_layout(self, small_graph):
+        ir, _ = trace(ladies_layer, small_graph, np.arange(4), constants={"K": 2})
+        LayoutSelectionPass().run(ir)
+        for node in ir.nodes():
+            if node.op in ("map_scalar", "reduce"):
+                assert node.layout is None
+
+    def test_compaction_suppressed_when_reduce_escapes(self, small_graph):
+        # LADIES indexes its reduce result by row() ids: compaction of the
+        # extract output must be suppressed for safety.
+        ir, _ = trace(ladies_layer, small_graph, np.arange(4), constants={"K": 2})
+        LayoutSelectionPass().run(ir)
+        for node in ir.nodes():
+            if node.op == "slice_cols":
+                assert not node.compact_rows
+
+
+class TestEndToEndEquivalence:
+    """Optimized execution must produce the same samples as eager mode
+    (same RNG stream, same candidate sets, same weights)."""
+
+    @pytest.mark.parametrize("layer,k", [(sage_layer, 3), (ladies_layer, 5)])
+    def test_optimized_matches_plain_structure(self, small_graph, layer, k):
+        seeds = np.arange(16)
+        opt = compile_sampler(
+            layer, small_graph, seeds, constants={"K": k}
+        )
+        plain = compile_sampler(
+            layer, small_graph, seeds, constants={"K": k},
+            config=OptimizationConfig.plain(),
+        )
+        m_opt, next_opt = opt.run(seeds, rng=new_rng(0), ctx=ExecutionContext(V100))
+        m_plain, next_plain = plain.run(
+            seeds, rng=new_rng(0), ctx=ExecutionContext(V100)
+        )
+        assert m_opt.shape[1] == m_plain.shape[1]
+        # Same RNG and same logical sampling: identical edge sets.
+        ro, co, vo = m_opt.to_coo_arrays()
+        rp, cp, vp = m_plain.to_coo_arrays()
+        assert sorted(zip(ro.tolist(), co.tolist())) == sorted(
+            zip(rp.tolist(), cp.tolist())
+        )
+        np.testing.assert_array_equal(np.sort(next_opt), np.sort(next_plain))

@@ -1,0 +1,146 @@
+"""Tests for the sampling RNG utilities: races, alias tables, segments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.random import (
+    AliasTable,
+    exponential_race_keys,
+    new_rng,
+    segmented_race_select,
+    segmented_uniform_with_replacement,
+    weighted_choice_with_replacement,
+    weighted_choice_without_replacement,
+)
+from repro.errors import ShapeError
+
+
+class TestExponentialRace:
+    def test_zero_weight_never_wins(self):
+        rng = new_rng(0)
+        weights = np.array([1.0, 0.0, 2.0])
+        for _ in range(50):
+            keys = exponential_race_keys(weights, rng)
+            assert keys[1] == np.inf
+
+    def test_bias_drives_selection_frequency(self):
+        rng = new_rng(1)
+        weights = np.array([10.0, 1.0])
+        wins = sum(
+            int(np.argmin(exponential_race_keys(weights, rng)) == 0)
+            for _ in range(2000)
+        )
+        # P(item0 first) = 10/11.
+        assert 0.85 < wins / 2000 < 0.97
+
+
+class TestWeightedChoice:
+    def test_without_replacement_unique(self):
+        rng = new_rng(2)
+        idx = weighted_choice_without_replacement(np.ones(20), 8, rng)
+        assert len(idx) == 8
+        assert len(np.unique(idx)) == 8
+
+    def test_without_replacement_short_population(self):
+        rng = new_rng(3)
+        idx = weighted_choice_without_replacement(
+            np.array([1.0, 0.0, 2.0]), 5, rng
+        )
+        assert set(idx) == {0, 2}
+
+    def test_with_replacement_distribution(self):
+        rng = new_rng(4)
+        idx = weighted_choice_with_replacement(np.array([3.0, 1.0]), 8000, rng)
+        frac = (idx == 0).mean()
+        assert 0.70 < frac < 0.80
+
+    def test_with_replacement_empty_weights(self):
+        rng = new_rng(5)
+        assert len(weighted_choice_with_replacement(np.zeros(3), 5, rng)) == 0
+
+
+class TestAliasTable:
+    def test_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            AliasTable.build(np.array([]))
+
+    def test_distribution_matches_weights(self):
+        rng = new_rng(6)
+        weights = np.array([1.0, 2.0, 3.0, 4.0])
+        table = AliasTable.build(weights)
+        draws = table.sample(40_000, rng)
+        counts = np.bincount(draws, minlength=4) / 40_000
+        np.testing.assert_allclose(counts, weights / weights.sum(), atol=0.02)
+
+    def test_degenerate_uniform(self):
+        rng = new_rng(7)
+        table = AliasTable.build(np.zeros(3))
+        draws = table.sample(3000, rng)
+        counts = np.bincount(draws, minlength=3) / 3000
+        np.testing.assert_allclose(counts, [1 / 3] * 3, atol=0.05)
+
+
+class TestSegmentedUniform:
+    def test_offsets_within_segments(self):
+        rng = new_rng(8)
+        lengths = np.array([3, 0, 7, 1])
+        seg, off = segmented_uniform_with_replacement(lengths, 5, rng)
+        assert set(np.unique(seg)) <= {0, 2, 3}
+        assert np.all(off < lengths[seg])
+        assert np.all(off >= 0)
+
+    def test_counts_per_segment(self):
+        rng = new_rng(9)
+        lengths = np.array([2, 5])
+        seg, _ = segmented_uniform_with_replacement(lengths, 4, rng)
+        counts = np.bincount(seg, minlength=2)
+        np.testing.assert_array_equal(counts, [4, 4])
+
+
+class TestSegmentedRaceSelect:
+    def test_selects_k_smallest_per_segment(self):
+        keys = np.array([0.5, 0.1, 0.9, 0.3, 0.2, 0.8])
+        indptr = np.array([0, 3, 6])
+        picks = segmented_race_select(keys, indptr, 2)
+        assert sorted(picks[:2]) == [0, 1]
+        assert sorted(picks[2:]) == [3, 4]
+
+    def test_infinite_keys_excluded(self):
+        keys = np.array([np.inf, 0.1, np.inf])
+        indptr = np.array([0, 3])
+        picks = segmented_race_select(keys, indptr, 3)
+        np.testing.assert_array_equal(picks, [1])
+
+    def test_per_segment_k(self):
+        keys = np.linspace(0, 1, 6)
+        indptr = np.array([0, 3, 6])
+        picks = segmented_race_select(keys, indptr, np.array([1, 2]))
+        assert len(picks) == 3
+
+    def test_key_length_checked(self):
+        with pytest.raises(ShapeError):
+            segmented_race_select(np.ones(3), np.array([0, 2]), 1)
+
+    @given(
+        st.lists(st.integers(0, 8), min_size=1, max_size=10),
+        st.integers(1, 5),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_picks_grouped_and_bounded(self, seg_lengths, k, seed):
+        rng = np.random.default_rng(seed)
+        lengths = np.array(seg_lengths, dtype=np.int64)
+        indptr = np.zeros(len(lengths) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        keys = rng.random(int(indptr[-1]))
+        picks = segmented_race_select(keys, indptr, k)
+        # Every pick belongs to exactly one segment, each segment yields
+        # at most min(k, length) picks, with no duplicates.
+        seg_of = np.searchsorted(indptr, picks, side="right") - 1
+        assert len(np.unique(picks)) == len(picks)
+        for s in range(len(lengths)):
+            assert (seg_of == s).sum() == min(k, lengths[s])

@@ -1,0 +1,105 @@
+"""Compiler front-door tests: configs, pass logs, output structures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import new_rng
+from repro.device import ExecutionContext, V100
+from repro.sampler import OptimizationConfig, compile_sampler
+
+
+def sage_layer(A, frontiers, K):
+    sub_A = A[:, frontiers]
+    sample_A = sub_A.individual_sample(K)
+    return sample_A, sample_A.row()
+
+
+class TestOptimizationConfig:
+    def test_default_enables_everything(self):
+        config = OptimizationConfig()
+        assert config.computation and config.layout and config.superbatch
+
+    def test_plain_disables_everything(self):
+        config = OptimizationConfig.plain()
+        assert not (config.computation or config.layout or config.superbatch)
+
+
+class TestCompile:
+    def test_full_config_fuses(self, small_graph):
+        s = compile_sampler(
+            sage_layer, small_graph, np.arange(4), constants={"K": 2}
+        )
+        assert "extract_select_fusion" in s.pass_log
+        assert "layout_selection" in s.pass_log
+        assert any(n.op == "fused_extract_select" for n in s.ir.nodes())
+
+    def test_plain_config_leaves_ir_untouched(self, small_graph):
+        s = compile_sampler(
+            sage_layer, small_graph, np.arange(4), constants={"K": 2},
+            config=OptimizationConfig.plain(),
+        )
+        ops = [n.op for n in s.ir.nodes()]
+        assert "slice_cols" in ops and "individual_sample" in ops
+        assert s.pass_log in ([], ["layout_greedy"])
+
+    def test_computation_only(self, small_graph):
+        s = compile_sampler(
+            sage_layer, small_graph, np.arange(4), constants={"K": 2},
+            config=OptimizationConfig(computation=True, layout=False,
+                                      superbatch=False),
+        )
+        assert any(n.op == "fused_extract_select" for n in s.ir.nodes())
+        assert "layout_selection" not in s.pass_log
+
+    def test_run_returns_trace_structure(self, small_graph):
+        s = compile_sampler(
+            sage_layer, small_graph, np.arange(4), constants={"K": 2}
+        )
+        result = s.run(np.arange(4), rng=new_rng(0))
+        assert isinstance(result, tuple) and len(result) == 2
+
+    def test_nested_structure_roundtrip(self, small_graph):
+        def layer(A, frontiers, K):
+            s = A[:, frontiers].individual_sample(K)
+            return (s, (s.row(), s.column()))
+
+        c = compile_sampler(layer, small_graph, np.arange(4), constants={"K": 2})
+        matrix, (rows, cols) = c.run(np.arange(4), rng=new_rng(0))
+        assert matrix.nnz <= 8
+        np.testing.assert_array_equal(cols, np.arange(4))
+
+    def test_runs_are_independent_draws(self, small_graph):
+        s = compile_sampler(
+            sage_layer, small_graph, np.arange(50), constants={"K": 1}
+        )
+        m1, _ = s.run(np.arange(50), rng=new_rng(1))
+        m2, _ = s.run(np.arange(50), rng=new_rng(2))
+        r1 = m1.to_coo_arrays()[0]
+        r2 = m2.to_coo_arrays()[0]
+        assert not np.array_equal(r1, r2)
+
+    def test_memory_accounted_and_released(self, small_graph):
+        s = compile_sampler(
+            sage_layer, small_graph, np.arange(8), constants={"K": 3}
+        )
+        ctx = ExecutionContext(V100)
+        s.run(np.arange(8), ctx=ctx, rng=new_rng(0))
+        assert ctx.memory.peak_bytes > 0
+        assert ctx.memory.live_bytes == 0  # everything freed after the run
+
+    def test_fusion_reduces_simulated_time(self, small_graph):
+        seeds = np.arange(64)
+        full = compile_sampler(
+            sage_layer, small_graph, seeds, constants={"K": 5}
+        )
+        plain = compile_sampler(
+            sage_layer, small_graph, seeds, constants={"K": 5},
+            config=OptimizationConfig.plain(),
+        )
+        ctx_full, ctx_plain = ExecutionContext(V100), ExecutionContext(V100)
+        full.run(seeds, ctx=ctx_full, rng=new_rng(0))
+        plain.run(seeds, ctx=ctx_plain, rng=new_rng(0))
+        assert ctx_full.elapsed < ctx_plain.elapsed
+        assert ctx_full.memory.peak_bytes < ctx_plain.memory.peak_bytes

@@ -1,0 +1,87 @@
+"""Compaction tests: isolated-node removal and id bookkeeping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    COO,
+    compact_cols,
+    compact_rows,
+    convert,
+    occupied_cols,
+    occupied_rows,
+)
+
+from tests.conftest import random_coo, to_dense
+
+
+@pytest.fixture
+def sparse_rows_coo():
+    """A matrix whose rows 0, 3, 9 are the only occupied ones."""
+    return COO(
+        rows=[0, 3, 3, 9],
+        cols=[1, 0, 2, 1],
+        values=[1.0, 2.0, 3.0, 4.0],
+        shape=(10, 3),
+    )
+
+
+@pytest.mark.parametrize("layout", ["coo", "csr", "csc"])
+def test_occupied_rows(sparse_rows_coo, layout):
+    matrix = convert(sparse_rows_coo, layout)
+    np.testing.assert_array_equal(occupied_rows(matrix), [0, 3, 9])
+
+
+@pytest.mark.parametrize("layout", ["coo", "csr", "csc"])
+def test_occupied_cols(layout):
+    coo = COO(rows=[0, 1], cols=[4, 2], values=None, shape=(3, 6))
+    matrix = convert(coo, layout)
+    np.testing.assert_array_equal(occupied_cols(matrix), [2, 4])
+
+
+@pytest.mark.parametrize("layout", ["coo", "csr", "csc"])
+def test_compact_rows_removes_isolated(sparse_rows_coo, layout):
+    matrix = convert(sparse_rows_coo, layout)
+    result = compact_rows(matrix)
+    assert result.matrix.shape == (3, 3)
+    np.testing.assert_array_equal(result.row_ids, [0, 3, 9])
+    dense = to_dense(sparse_rows_coo)
+    np.testing.assert_allclose(to_dense(result.matrix), dense[[0, 3, 9]], rtol=1e-6)
+
+
+@pytest.mark.parametrize("layout", ["coo", "csr", "csc"])
+def test_compact_cols_removes_isolated(layout):
+    coo = COO(rows=[0, 1], cols=[4, 2], values=[1.0, 2.0], shape=(3, 6))
+    matrix = convert(coo, layout)
+    result = compact_cols(matrix)
+    assert result.matrix.shape == (3, 2)
+    np.testing.assert_array_equal(result.col_ids, [2, 4])
+    np.testing.assert_allclose(
+        to_dense(result.matrix), to_dense(coo)[:, [2, 4]], rtol=1e-6
+    )
+
+
+def test_compact_with_explicit_keep_rows(sparse_rows_coo):
+    result = compact_rows(sparse_rows_coo, keep_rows=np.array([3, 9]))
+    assert result.matrix.shape == (2, 3)
+    np.testing.assert_allclose(
+        to_dense(result.matrix), to_dense(sparse_rows_coo)[[3, 9]], rtol=1e-6
+    )
+
+
+def test_compact_preserves_edge_ids(rng):
+    coo = random_coo(rng, rows=30, cols=5, nnz=20)
+    coo.edge_ids = np.arange(coo.nnz) + 100
+    result = compact_rows(coo)
+    assert result.matrix.edge_ids is not None
+    assert set(result.matrix.edge_ids) <= set(coo.edge_ids)
+    assert result.matrix.nnz == coo.nnz  # compaction drops no edges
+
+
+def test_compact_empty_matrix():
+    empty = COO(rows=[], cols=[], values=None, shape=(5, 4))
+    result = compact_rows(empty)
+    assert result.matrix.shape == (0, 4)
+    assert len(result.row_ids) == 0

@@ -1,0 +1,164 @@
+"""Super-batch sampling tests (Section 4.4): independence and correctness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import new_rng
+from repro.device import ExecutionContext, V100
+from repro.errors import TraceError
+from repro.ir.passes.superbatch import SuperBatchPass, needs_block_diagonal
+from repro.ir.trace import trace
+from repro.ir import superbatch_ops
+from repro.sampler import compile_sampler
+
+from tests.conftest import to_dense
+
+
+def sage_layer(A, frontiers, K):
+    sub_A = A[:, frontiers]
+    sample_A = sub_A.individual_sample(K)
+    return sample_A, sample_A.row()
+
+
+def ladies_layer(A, frontiers, K):
+    sub_A = A[:, frontiers]
+    row_probs = (sub_A ** 2).sum(axis=0)
+    sample_A = sub_A.collective_sample(K, row_probs)
+    return sample_A, sample_A.row()
+
+
+class TestRewritePass:
+    def test_nodewise_needs_no_rewrite(self, small_graph):
+        ir, _ = trace(sage_layer, small_graph, np.arange(4), constants={"K": 2})
+        assert not needs_block_diagonal(ir)
+        assert not SuperBatchPass().run(ir)
+
+    def test_layerwise_rewritten(self, small_graph):
+        ir, _ = trace(ladies_layer, small_graph, np.arange(4), constants={"K": 3})
+        assert needs_block_diagonal(ir)
+        assert SuperBatchPass().run(ir)
+        ops = [n.op for n in ir.nodes()]
+        assert "sb_slice_cols" in ops
+        assert "sb_collective_sample" in ops
+        assert "collective_sample" not in ops
+        ir.validate()
+
+    def test_rewrite_is_idempotent(self, small_graph):
+        ir, _ = trace(ladies_layer, small_graph, np.arange(4), constants={"K": 3})
+        SuperBatchPass().run(ir)
+        assert not SuperBatchPass().run(ir)
+
+
+class TestSegmentedOps:
+    def test_sb_slice_cols_block_diagonal(self, small_graph):
+        frontiers = np.array([1, 2, 3, 4])
+        batch_ptr = np.array([0, 2, 4])
+        out = superbatch_ops.sb_slice_cols(small_graph, frontiers, batch_ptr)
+        n = small_graph.shape[0]
+        assert out.shape == (2 * n, 4)
+        dense = to_dense(out)
+        # Batch 0's columns only touch row block 0; batch 1's only block 1.
+        assert not dense[n:, :2].any()
+        assert not dense[:n, 2:].any()
+        np.testing.assert_allclose(
+            dense[:n, :2], to_dense(small_graph)[:, [1, 2]], rtol=1e-6
+        )
+        np.testing.assert_allclose(
+            dense[n:, 2:], to_dense(small_graph)[:, [3, 4]], rtol=1e-6
+        )
+
+    def test_sb_collective_sample_per_batch_budget(self, small_graph):
+        frontiers = np.arange(20)
+        batch_ptr = np.array([0, 10, 20])
+        block = superbatch_ops.sb_slice_cols(small_graph, frontiers, batch_ptr)
+        out = superbatch_ops.sb_collective_sample(
+            block, 5, batch_ptr, rng=new_rng(0)
+        )
+        n = small_graph.shape[0]
+        assert out.shape[0] == 10  # 5 rows per batch
+        batch_of_row = out.row_ids // n
+        np.testing.assert_array_equal(np.bincount(batch_of_row), [5, 5])
+
+    def test_split_sample_restores_global_ids(self, small_graph):
+        frontiers = np.array([1, 2, 3, 4])
+        batch_ptr = np.array([0, 2, 4])
+        block = superbatch_ops.sb_slice_cols(small_graph, frontiers, batch_ptr)
+        pieces = superbatch_ops.split_sample(
+            block, batch_ptr, small_graph.shape[0]
+        )
+        assert len(pieces) == 2
+        for piece, cols in zip(pieces, ([1, 2], [3, 4])):
+            np.testing.assert_array_equal(piece.column(), cols)
+            assert piece.row_ids.max() < small_graph.shape[0]
+
+
+class TestRunSuperbatch:
+    def test_sage_superbatch_matches_columns(self, small_graph):
+        sampler = compile_sampler(
+            sage_layer, small_graph, np.arange(8), constants={"K": 3}
+        )
+        batches = [np.arange(8), np.arange(50, 58), np.arange(100, 108)]
+        results = sampler.run_superbatch(batches, rng=new_rng(1))
+        assert len(results) == 3
+        for (matrix, nxt), batch in zip(results, batches):
+            np.testing.assert_array_equal(matrix.column(), batch)
+            assert matrix.nnz <= 3 * len(batch)
+            # Every sampled edge is a real graph edge.
+            rows, cols, _ = matrix.to_coo_arrays()
+            dense = to_dense(small_graph)
+            assert all(dense[r, c] != 0 for r, c in zip(rows, cols))
+            np.testing.assert_array_equal(np.sort(nxt), np.unique(rows))
+
+    def test_ladies_superbatch_independent_batches(self, small_graph):
+        sampler = compile_sampler(
+            ladies_layer, small_graph, np.arange(16), constants={"K": 6}
+        )
+        batches = [np.arange(16), np.arange(30, 46)]
+        results = sampler.run_superbatch(batches, rng=new_rng(2))
+        for (matrix, nxt), batch in zip(results, batches):
+            assert matrix.shape[0] <= 6
+            np.testing.assert_array_equal(matrix.column(), batch)
+            assert len(nxt) <= 6
+
+    def test_superbatch_faster_than_sequential(self, small_graph):
+        """The point of super-batching: fewer, fuller launches (Figure 6)."""
+        sampler = compile_sampler(
+            ladies_layer, small_graph, np.arange(16), constants={"K": 6}
+        )
+        batches = [np.arange(i, i + 16) for i in range(0, 128, 16)]
+        sb_ctx = ExecutionContext(V100)
+        sampler.run_superbatch(batches, ctx=sb_ctx, rng=new_rng(3))
+        seq_ctx = ExecutionContext(V100)
+        for batch in batches:
+            sampler.run(batch, ctx=seq_ctx, rng=new_rng(3))
+        assert sb_ctx.elapsed < seq_ctx.elapsed
+        # The sampling work itself collapses into one launch sequence;
+        # only the final per-batch split scales with the batch count.
+        sampling_launches = sum(
+            1 for l in sb_ctx.launches if l.name.startswith("sb_")
+        )
+        assert sampling_launches <= 5
+
+    def test_non_pair_contract_rejected(self, small_graph):
+        def walk(A, frontiers):
+            return A[:, frontiers].individual_sample(1)
+
+        sampler = compile_sampler(walk, small_graph, np.arange(4))
+        with pytest.raises(TraceError):
+            sampler.run_superbatch([np.arange(4)])
+
+    def test_choose_superbatch_size(self, small_graph):
+        sampler = compile_sampler(
+            sage_layer, small_graph, np.arange(8), constants={"K": 3}
+        )
+        size = sampler.choose_superbatch_size(
+            np.arange(8), memory_budget=1 << 22, max_size=16
+        )
+        assert 1 <= size <= 16
+        # A tiny budget forces size 1.
+        tiny = sampler.choose_superbatch_size(
+            np.arange(8), memory_budget=1, max_size=16
+        )
+        assert tiny == 1

@@ -1,0 +1,109 @@
+"""Tracer tests: user programs become the expected IR."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.ir.trace import trace
+
+
+def _ops(ir):
+    return [n.op for n in ir.nodes()]
+
+
+class TestTraceBasics:
+    def test_graphsage_trace(self, small_graph):
+        def layer(A, frontiers, K):
+            sub_A = A[:, frontiers]
+            sample_A = sub_A.individual_sample(K)
+            return sample_A, sample_A.row()
+
+        ir, info = trace(layer, small_graph, np.arange(4), constants={"K": 3})
+        assert _ops(ir) == [
+            "input_graph",
+            "input_tensor",
+            "slice_cols",
+            "individual_sample",
+            "row",
+        ]
+        assert info["structure"] == ("leaf", "leaf")
+        assert ir.node(ir.outputs[0]).op == "individual_sample"
+
+    def test_constants_are_baked(self, small_graph):
+        def layer(A, frontiers, K):
+            s = A[:, frontiers].individual_sample(K)
+            return s, s.row()
+
+        ir, _ = trace(layer, small_graph, np.arange(4), constants={"K": 7})
+        sample = next(n for n in ir.nodes() if n.op == "individual_sample")
+        assert sample.attrs["k"] == 7
+
+    def test_tensor_inputs_traced(self, small_graph):
+        feats = np.random.rand(200, 8).astype(np.float32)
+
+        def layer(A, frontiers, features):
+            sub = A[:, frontiers]
+            scores = features @ features[frontiers]
+            return sub.collective_sample(3, scores.sum()), sub.row()
+
+        ir, _ = trace(
+            layer, small_graph, np.arange(4), tensors={"features": feats}
+        )
+        assert "t_matmul" in _ops(ir)
+        assert "t_index" in _ops(ir)
+
+    def test_meta_estimates_propagate(self, small_graph):
+        def layer(A, frontiers, K):
+            s = A[:, frontiers].individual_sample(K)
+            return s, s.row()
+
+        ir, _ = trace(layer, small_graph, np.arange(10), constants={"K": 5})
+        sample_meta = next(
+            n for n in ir.nodes() if n.op == "individual_sample"
+        ).attrs["_meta"]
+        assert sample_meta.est_cols == 10.0
+        assert sample_meta.est_nnz <= 50.0
+        graph_meta = ir.nodes()[0].attrs["_meta"]
+        assert graph_meta.is_base_graph
+
+    def test_compute_ops_traced(self, small_graph):
+        def layer(A, frontiers, K):
+            sub = A[:, frontiers]
+            probs = (sub**2).sum(axis=0)
+            s = sub.collective_sample(K, probs)
+            s = s.div(probs[s.row()], axis=0)
+            return s, s.row()
+
+        ir, _ = trace(layer, small_graph, np.arange(4), constants={"K": 3})
+        ops = _ops(ir)
+        for expected in ("map_scalar", "reduce", "collective_sample",
+                         "t_index", "map_broadcast"):
+            assert expected in ops
+
+
+class TestTraceErrors:
+    def test_data_dependent_branch_rejected(self, small_graph):
+        def layer(A, frontiers):
+            s = (A[:, frontiers] ** 2).sum(axis=0)
+            if s:  # boolean coercion of a traced value
+                return A[:, frontiers], frontiers
+            return A[:, frontiers], frontiers
+
+        with pytest.raises(TraceError):
+            trace(layer, small_graph, np.arange(4))
+
+    def test_concrete_matrix_rejected(self, small_graph):
+        def layer(A, frontiers):
+            return A.individual_sample(1, probs=small_graph), frontiers
+
+        with pytest.raises(TraceError):
+            trace(layer, small_graph, np.arange(4))
+
+    def test_non_proxy_return_rejected(self, small_graph):
+        def layer(A, frontiers):
+            return 42
+
+        with pytest.raises(TraceError):
+            trace(layer, small_graph, np.arange(4))

@@ -1,0 +1,145 @@
+"""Walk-machinery tests: drivers, restart counting, top-k, induction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.walks import (
+    WalkResult,
+    induce_subgraph,
+    restart_walk_visit_counts,
+    top_k_per_segment,
+    uniform_walk,
+)
+from repro.core import new_rng
+from repro.device import ExecutionContext, V100
+
+from tests.conftest import to_dense
+
+
+class TestUniformWalk:
+    def test_every_step_follows_an_edge(self, small_graph):
+        result = uniform_walk(small_graph, np.arange(25), 10, rng=new_rng(0))
+        dense = to_dense(small_graph)
+        trace = result.trace
+        assert result.walk_length == 10
+        assert result.num_walkers == 25
+        for t in range(10):
+            for w in range(25):
+                cur, nxt = trace[t, w], trace[t + 1, w]
+                if cur >= 0 and nxt >= 0:
+                    assert dense[nxt, cur] != 0
+
+    def test_dead_walkers_stay_dead(self, small_graph):
+        result = uniform_walk(small_graph, np.arange(25), 8, rng=new_rng(1))
+        trace = result.trace
+        for w in range(25):
+            dead_from = np.flatnonzero(trace[:, w] == -1)
+            if len(dead_from):
+                assert np.all(trace[dead_from[0] :, w] == -1)
+
+    def test_visited_nodes(self, small_graph):
+        result = uniform_walk(small_graph, np.array([3]), 5, rng=new_rng(2))
+        visited = result.visited_nodes()
+        assert 3 in visited
+        assert np.all(visited >= 0)
+
+    def test_charges_one_launch_per_step(self, small_graph):
+        ctx = ExecutionContext(V100)
+        uniform_walk(small_graph, np.arange(10), 7, ctx=ctx, rng=new_rng(3))
+        steps = [l for l in ctx.launches if l.name == "walk_step"]
+        assert len(steps) == 7
+
+
+class TestRestartWalks:
+    def test_counts_are_positive_and_owned(self, small_graph):
+        owner, node, count = restart_walk_visit_counts(
+            small_graph,
+            np.array([1, 2, 3]),
+            num_walks=5,
+            walk_length=4,
+            restart_prob=0.3,
+            rng=new_rng(4),
+        )
+        assert len(owner) == len(node) == len(count)
+        assert np.all(count > 0)
+        assert set(np.unique(owner)) <= {0, 1, 2}
+        # owner array is sorted (segment order for top-k).
+        assert np.all(np.diff(owner) >= 0)
+
+    def test_total_visits_bounded_by_steps(self, small_graph):
+        frontiers = np.array([1, 2])
+        owner, node, count = restart_walk_visit_counts(
+            small_graph,
+            frontiers,
+            num_walks=4,
+            walk_length=6,
+            restart_prob=0.5,
+            rng=new_rng(5),
+        )
+        assert count.sum() == len(frontiers) * 4 * 6
+
+    def test_high_restart_keeps_walkers_home(self, small_graph):
+        owner, node, count = restart_walk_visit_counts(
+            small_graph,
+            np.array([7]),
+            num_walks=10,
+            walk_length=10,
+            restart_prob=0.95,
+            rng=new_rng(6),
+        )
+        # With near-certain restart, the source dominates the visits.
+        by_node = dict(zip(node.tolist(), count.tolist()))
+        assert by_node.get(7, 0) > 0.5 * count.sum()
+
+
+class TestTopKPerSegment:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 4), st.floats(0, 100)),
+            min_size=1,
+            max_size=40,
+        ),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_python_reference(self, items, k):
+        items.sort(key=lambda p: p[0])
+        seg = np.array([p[0] for p in items])
+        score = np.array([p[1] for p in items])
+        keep = top_k_per_segment(seg, score, k)
+        # Reference: per segment, the k largest scores (as multisets).
+        picked: dict[int, list[float]] = {}
+        for idx in keep:
+            picked.setdefault(int(seg[idx]), []).append(float(score[idx]))
+        for s in np.unique(seg):
+            expected = sorted(
+                (float(v) for g, v in items if g == s), reverse=True
+            )[:k]
+            assert sorted(picked.get(int(s), []), reverse=True) == pytest.approx(
+                expected
+            )
+
+    def test_empty(self):
+        out = top_k_per_segment(np.array([]), np.array([]), 3)
+        assert len(out) == 0
+
+
+class TestInduceSubgraph:
+    def test_matches_dense_oracle(self, small_graph):
+        nodes = np.array([2, 5, 8, 13])
+        induced = induce_subgraph(small_graph, nodes)
+        np.testing.assert_allclose(
+            to_dense(induced),
+            to_dense(small_graph)[np.ix_(nodes, nodes)],
+            rtol=1e-6,
+        )
+        np.testing.assert_array_equal(induced.column(), nodes)
+
+    def test_charges_context(self, small_graph):
+        ctx = ExecutionContext(V100)
+        induce_subgraph(small_graph, np.arange(10), ctx=ctx)
+        assert ctx.launch_count() >= 2  # column slice + row slice
