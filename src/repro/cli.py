@@ -6,6 +6,9 @@
   cell and print its statistics;
 * ``compare`` — print the normalized cross-system table for one
   algorithm over the catalog datasets (a Figure 7/8 row group);
+* ``verify`` — statistically verify that every optimization
+  configuration of an algorithm samples the same distribution as the
+  eager reference executor (the ``repro.verify`` subsystem);
 * ``datasets`` / ``algorithms`` / ``systems`` — list what is available.
 """
 
@@ -53,6 +56,24 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--scale", type=float, default=0.25)
     compare.add_argument("--batch-size", type=int, default=512)
     compare.add_argument("--max-batches", type=int, default=4)
+
+    verify = sub.add_parser(
+        "verify",
+        help="check distribution equivalence of all optimization configs",
+    )
+    verify.add_argument(
+        "algorithm",
+        help="algorithm to verify (or 'all' for every verifiable one)",
+    )
+    verify.add_argument("--trials", type=int, default=200)
+    verify.add_argument("--alpha", type=float, default=0.01)
+    verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument(
+        "--superbatch-batches",
+        type=int,
+        default=3,
+        help="mini-batches per super-batch launch (0 disables that variant)",
+    )
 
     sub.add_parser("datasets", help="list catalog datasets")
     sub.add_parser("algorithms", help="list the 15 implemented algorithms")
@@ -134,6 +155,58 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.errors import GSamplerError
+    from repro.verify import builtin_specs, verify_algorithm
+
+    names = (
+        sorted(builtin_specs()) if args.algorithm == "all" else [args.algorithm]
+    )
+    superbatch = args.superbatch_batches or None
+    rows = []
+    all_passed = True
+    for name in names:
+        try:
+            report = verify_algorithm(
+                name,
+                trials=args.trials,
+                alpha=args.alpha,
+                seed=args.seed,
+                superbatch_batches=superbatch,
+            )
+        except GSamplerError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        all_passed = all_passed and report.passed
+        for check in report.variants:
+            rows.append(
+                [
+                    name,
+                    check.name,
+                    f"{check.chi2.statistic:.2f}",
+                    str(check.chi2.dof),
+                    f"{check.adjusted_chi2_p:.4f}",
+                    f"{check.ks.statistic:.3f}",
+                    f"{check.adjusted_ks_p:.4f}",
+                    "ok" if check.passed else "FAIL",
+                ]
+            )
+    print(
+        format_table(
+            ["Algorithm", "Variant", "chi2", "dof", "adj p", "KS D",
+             "adj p (KS)", "Verdict"],
+            rows,
+            title=(
+                "Distribution equivalence vs eager oracle "
+                f"(trials={args.trials}, alpha={args.alpha}, "
+                f"seed={args.seed}, Bonferroni-corrected)"
+            ),
+        )
+    )
+    print("verification " + ("PASSED" if all_passed else "FAILED"))
+    return 0 if all_passed else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point used by ``python -m repro`` and tests."""
     args = _build_parser().parse_args(argv)
@@ -141,6 +214,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_sample(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
     if args.command == "datasets":
         print("\n".join(available_datasets()))
         return 0

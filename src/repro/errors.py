@@ -28,6 +28,16 @@ class PassError(GSamplerError):
     """An IR optimization pass found the graph in an inconsistent state."""
 
 
+class InvariantError(PassError):
+    """The IR invariant checker rejected a graph between pass transitions.
+
+    Raised by :func:`repro.verify.invariants.check_invariants` — either
+    directly in tests, or by :class:`~repro.ir.passes.base.PassManager`
+    when constructed with ``debug=True``.  The message names the pass
+    stage after which the violation was observed.
+    """
+
+
 class UnsupportedAlgorithmError(GSamplerError):
     """A baseline system was asked to run an algorithm it does not support.
 

@@ -178,6 +178,10 @@ class DataFlowGraph:
         uses += self.outputs.count(node_id)
         return uses
 
+    def positions(self) -> dict[int, int]:
+        """Map node id -> topological position (insertion order index)."""
+        return {node_id: i for i, node_id in enumerate(self._nodes)}
+
     # ------------------------------------------------------------------
     # Mutation (for passes)
     # ------------------------------------------------------------------
@@ -199,9 +203,14 @@ class DataFlowGraph:
             self.input_ids.remove(node_id)
 
     def validate(self) -> None:
-        """Check topological ordering and input existence."""
+        """Check topological ordering, key consistency, input existence."""
         seen: set[int] = set()
-        for node in self._nodes.values():
+        for key, node in self._nodes.items():
+            if key != node.node_id:
+                raise PassError(
+                    f"node table key {key} disagrees with node id "
+                    f"{node.node_id} ({node.op})"
+                )
             for dep in node.inputs:
                 if dep not in seen:
                     raise PassError(
@@ -209,6 +218,9 @@ class DataFlowGraph:
                         "before definition"
                     )
             seen.add(node.node_id)
+        for inp in self.input_ids:
+            if inp not in self._nodes:
+                raise PassError(f"registered input {inp} does not exist")
         for out in self.outputs:
             if out not in self._nodes:
                 raise PassError(f"output {out} does not exist")

@@ -35,11 +35,35 @@ class PassReport:
 
 
 class PassManager:
-    """Runs a pipeline of passes, iterating cleanup passes to fixpoint."""
+    """Runs a pipeline of passes, iterating cleanup passes to fixpoint.
 
-    def __init__(self, passes: list[Pass], *, max_iterations: int = 8) -> None:
+    With ``debug=True`` every pass transition is additionally vetted by
+    the full IR invariant checker (:mod:`repro.verify.invariants`):
+    topological order, layout legality, operand-kind consistency, and
+    super-batch pointer discipline.  A buggy pass then fails immediately,
+    with the offending pass named in the error, instead of producing a
+    silently skewed sampler.  The default (``debug=False``) keeps only
+    the cheap structural ``validate`` on the hot compile path.
+    """
+
+    def __init__(
+        self,
+        passes: list[Pass],
+        *,
+        max_iterations: int = 8,
+        debug: bool = False,
+    ) -> None:
         self.passes = passes
         self.max_iterations = max_iterations
+        self.debug = debug
+
+    def _check(self, ir: DataFlowGraph, stage: str) -> None:
+        if self.debug:
+            from repro.verify.invariants import check_invariants
+
+            check_invariants(ir, stage=stage)
+        else:
+            ir.validate()
 
     def run(self, ir: DataFlowGraph) -> PassReport:
         applied: list[str] = []
@@ -51,7 +75,7 @@ class PassManager:
                 if p.run(ir):
                     applied.append(p.name)
                     changed = True
-                ir.validate()
+                self._check(ir, p.name)
             if not changed:
                 break
         return PassReport(applied=applied, iterations=iterations)

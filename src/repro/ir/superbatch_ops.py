@@ -157,6 +157,11 @@ def sb_collective_sample(
         node_probs = reduce_rows(csc, "sum", ctx).astype(np.float64)
     else:
         node_probs = np.asarray(node_probs, dtype=np.float64)
+        if node_probs.shape == (rows_per_batch,):
+            # Batch-invariant probs (e.g. hoisted base-graph degrees or
+            # learned per-node scores): lift into block-diagonal row
+            # space by repeating the vector once per segment.
+            node_probs = np.tile(node_probs, num_batches)
         if node_probs.shape != (total_rows,):
             raise ShapeError(
                 f"node_probs shape {node_probs.shape} != rows ({total_rows},)"
@@ -177,8 +182,12 @@ def sb_collective_sample(
         flops=total_rows + csc.nnz,
         tasks=max(csc.nnz, 1),
     )
+    # Internal row structure stays in block-diagonal space (that is what
+    # keeps batches independent), but the *external* row ids fold back to
+    # original node ids so downstream per-node indexing (e.g. the LADIES
+    # and FastGCN debias steps) sees the same id space as eager runs.
     row_ids = (
-        selected
+        selected % rows_per_batch
         if matrix.row_ids is None
         else matrix.row_ids[selected]
     )

@@ -22,7 +22,8 @@ Example::
 from __future__ import annotations
 
 import dataclasses
-from collections.abc import Callable, Sequence
+import itertools
+from collections.abc import Callable, Iterator, Sequence
 
 import numpy as np
 
@@ -66,6 +67,24 @@ class OptimizationConfig:
     def plain(cls) -> "OptimizationConfig":
         return cls(computation=False, layout=False, superbatch=False)
 
+    @classmethod
+    def all_combinations(cls) -> tuple["OptimizationConfig", ...]:
+        """Every on/off combination of the three knobs (the 8-point grid
+        the verification subsystem sweeps)."""
+        return tuple(
+            cls(computation=c, layout=d, superbatch=b)
+            for c, d, b in itertools.product((False, True), repeat=3)
+        )
+
+    def label(self) -> str:
+        """Short knob string matching the paper's bars: C=computation,
+        D=data layout, B=super-batch."""
+        return (
+            f"C{int(self.computation)}"
+            f"D{int(self.layout)}"
+            f"B{int(self.superbatch)}"
+        )
+
 
 class CompiledSampler:
     """A traced, optimized, executable sampling program."""
@@ -79,6 +98,7 @@ class CompiledSampler:
         precomputed: dict[str, object],
         config: OptimizationConfig,
         pass_log: list[str],
+        debug: bool = False,
     ) -> None:
         self.ir = ir
         self.graph = graph
@@ -86,6 +106,7 @@ class CompiledSampler:
         self.precomputed = precomputed
         self.config = config
         self.pass_log = pass_log
+        self.debug = debug
         self._superbatch_ir: DataFlowGraph | None = None
 
     # ------------------------------------------------------------------
@@ -111,7 +132,12 @@ class CompiledSampler:
         if self._superbatch_ir is None:
             cloned = self.ir.clone()
             SuperBatchPass().run(cloned)
-            cloned.validate()
+            if self.debug:
+                from repro.verify.invariants import check_invariants
+
+                check_invariants(cloned, stage="superbatch")
+            else:
+                cloned.validate()
             self._superbatch_ir = cloned
         return self._superbatch_ir
 
@@ -197,8 +223,15 @@ def compile_sampler(
     constants: dict | None = None,
     tensors: dict[str, np.ndarray] | None = None,
     config: OptimizationConfig | None = None,
+    debug: bool = False,
 ) -> CompiledSampler:
-    """Trace ``fn`` and apply the configured optimization passes."""
+    """Trace ``fn`` and apply the configured optimization passes.
+
+    ``debug=True`` validates the full IR invariant set (see
+    :mod:`repro.verify.invariants`) after every pass transition and on
+    the final compiled program, instead of only the cheap structural
+    check — the mode every verification test compiles under.
+    """
     config = config if config is not None else OptimizationConfig()
     ir, info = trace(
         fn, graph, example_frontiers, constants=constants, tensors=tensors
@@ -215,7 +248,8 @@ def compile_sampler(
                 ExtractReduceFusion(),
                 EdgeMapFusion(),
                 EdgeMapReduceFusion(),
-            ]
+            ],
+            debug=debug,
         )
         report = manager.run(ir)
         pass_log.extend(report.applied)
@@ -224,7 +258,12 @@ def compile_sampler(
     )
     if layout_pass.run(ir):
         pass_log.append(layout_pass.name)
-    ir.validate()
+    if debug:
+        from repro.verify.invariants import check_invariants
+
+        check_invariants(ir, stage=layout_pass.name)
+    else:
+        ir.validate()
     return CompiledSampler(
         ir,
         graph,
@@ -232,16 +271,35 @@ def compile_sampler(
         precomputed=precomputed,
         config=config,
         pass_log=pass_log,
+        debug=debug,
     )
 
 
 def _unflatten(structure: object, flat: list[object]) -> object:
-    """Rebuild the traced return structure from flat output values."""
-    def build(s: object, it: iter) -> object:
+    """Rebuild the traced return structure from flat output values.
+
+    Raises :class:`TraceError` when the flat outputs do not exactly fill
+    the structure — leftover values mean the IR's output list no longer
+    matches the traced return shape, which must never pass silently.
+    """
+    def build(s: object, it: Iterator[object]) -> object:
         if s == "leaf":
-            return next(it)
+            try:
+                return next(it)
+            except StopIteration:
+                raise TraceError(
+                    "not enough outputs to rebuild the traced return "
+                    f"structure {structure!r}"
+                ) from None
         assert isinstance(s, tuple)
         return tuple(build(child, it) for child in s)
 
     iterator = iter(flat)
-    return build(structure, iterator)
+    result = build(structure, iterator)
+    leftover = sum(1 for _ in iterator)
+    if leftover:
+        raise TraceError(
+            f"{leftover} traced output(s) left unconsumed after rebuilding "
+            f"the return structure {structure!r} from {len(flat)} value(s)"
+        )
+    return result

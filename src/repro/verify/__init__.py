@@ -1,0 +1,57 @@
+"""Differential-testing & statistical-verification subsystem.
+
+Three layers guard the pass pipeline:
+
+* :mod:`repro.verify.oracle` — an eager reference executor that runs
+  traced programs op-by-op with no passes applied (the oracle);
+* :mod:`repro.verify.equivalence` — a distribution-equivalence checker
+  sweeping every :class:`~repro.sampler.OptimizationConfig` combination
+  plus the super-batched path, comparing neighbor-selection marginals to
+  the oracle's with chi-square/KS tests;
+* :mod:`repro.verify.invariants` — an IR invariant checker that
+  :class:`~repro.ir.passes.base.PassManager` runs after every pass when
+  built with ``debug=True``.
+
+CLI: ``gsampler-repro verify <algorithm>``.
+"""
+
+from repro.verify.equivalence import (
+    EquivalenceReport,
+    VariantCheck,
+    VerifySpec,
+    builtin_specs,
+    check_distribution_equivalence,
+    collect_edge_marginals,
+    verification_graph,
+    verify_algorithm,
+)
+from repro.verify.invariants import check_invariants
+from repro.verify.oracle import EagerOracle, trace_oracle
+from repro.verify.stats import (
+    TestResult,
+    bonferroni,
+    chi2_homogeneity,
+    chi2_sf,
+    ks_2samp,
+    pool_small_cells,
+)
+
+__all__ = [
+    "EagerOracle",
+    "EquivalenceReport",
+    "TestResult",
+    "VariantCheck",
+    "VerifySpec",
+    "bonferroni",
+    "builtin_specs",
+    "check_distribution_equivalence",
+    "check_invariants",
+    "chi2_homogeneity",
+    "chi2_sf",
+    "collect_edge_marginals",
+    "ks_2samp",
+    "pool_small_cells",
+    "trace_oracle",
+    "verification_graph",
+    "verify_algorithm",
+]

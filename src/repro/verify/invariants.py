@@ -1,0 +1,273 @@
+"""IR invariant checker: validates every pass transition in debug mode.
+
+Each optimization pass must leave the data-flow graph in a state the
+interpreter can execute and the next pass can reason about.  The checks
+here encode that contract explicitly:
+
+* **structure** — node-table key consistency, def-before-use topological
+  order, registered inputs/outputs exist;
+* **operand kinds** — every operator receives the value kinds it
+  expects (a matrix where a matrix is consumed, a tensor where an index
+  or dense operand is consumed), including the ``has_probs`` arity
+  discipline of the stochastic select ops;
+* **layout legality** — layout stamps name a real sparse layout and
+  appear only on structure-changing matrix operators (Section 4.3:
+  compute/finalize ops adopt their upstream layout and must never carry
+  their own decision);
+* **batch-ptr discipline** — after :class:`SuperBatchPass` there is at
+  most one ``sb_batch_ptr`` node, every super-batch operator references
+  it at the documented operand position, and no batch-mixing plain
+  operator survives the rewrite.
+
+:class:`~repro.ir.passes.base.PassManager` runs :func:`check_invariants`
+after every pass when constructed with ``debug=True``; the raised
+:class:`~repro.errors.InvariantError` names the pass stage so a broken
+pass is identified immediately.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvariantError
+from repro.ir.graph import DataFlowGraph, Node, MATRIX_OPS, STRUCTURE_OPS
+from repro.sparse import LAYOUTS
+
+__all__ = ["check_invariants"]
+
+#: Expected input kinds per op.  Tokens: ``matrix`` / ``tensor`` /
+#: ``ptr`` (the sb_batch_ptr node) / ``any``; a ``?`` prefix marks an
+#: optional trailing operand, ``*`` a variadic tail.
+_INPUT_KINDS: dict[str, tuple[str, ...]] = {
+    "input_graph": (),
+    "input_tensor": (),
+    "input_precomputed": (),
+    "const": (),
+    "sb_batch_ptr": (),
+    "slice_cols": ("matrix", "tensor"),
+    "slice_rows": ("matrix", "tensor"),
+    "map_scalar": ("matrix",),
+    "map_unary": ("matrix",),
+    "map_combine": ("matrix", "matrix"),
+    "map_broadcast": ("matrix", "tensor"),
+    "map_tscalar": ("matrix", "tensor"),
+    "reduce": ("matrix",),
+    "spmm": ("matrix", "tensor"),
+    "sddmm": ("matrix", "tensor", "tensor"),
+    "row": ("matrix",),
+    "column": ("matrix",),
+    "compact": ("matrix",),
+    "with_values": ("matrix", "tensor"),
+    "individual_sample": ("matrix", "?any"),
+    "collective_sample": ("matrix", "?tensor"),
+    "fused_extract_select": ("matrix", "tensor", "?tensor"),
+    "fused_extract_reduce": ("matrix", "tensor"),
+    "fused_map_chain": ("matrix", "*any"),
+    "fused_map_reduce": ("matrix", "*any"),
+    "sb_slice_cols": ("matrix", "tensor", "ptr"),
+    "sb_collective_sample": ("matrix", "ptr", "?tensor"),
+    "sb_fused_extract_reduce": ("matrix", "tensor", "ptr"),
+    "t_binop": ("tensor", "tensor"),
+    "t_binop_scalar": ("tensor",),
+    "t_unop": ("tensor",),
+    "t_sum": ("tensor",),
+    "t_index": ("tensor", "tensor"),
+    "t_matmul": ("tensor", "tensor"),
+}
+
+#: Stochastic select ops whose arity depends on ``has_probs``.
+_PROBS_ARITY = {
+    "individual_sample": 1,
+    "collective_sample": 1,
+    "fused_extract_select": 2,
+    "sb_collective_sample": 2,
+}
+
+
+def _value_kind(node: Node) -> str:
+    """The kind of value a node produces."""
+    if node.op == "input_precomputed":
+        return "any"  # hoisted values may be matrices or tensors
+    return "matrix" if node.op in MATRIX_OPS else "tensor"
+
+
+def _kind_matches(expected: str, actual: str) -> bool:
+    if expected == "any" or actual == "any":
+        return True
+    if expected == "ptr":
+        return False  # ptr operands are checked by node identity, not kind
+    return expected == actual
+
+
+class _Checker:
+    def __init__(self, ir: DataFlowGraph, stage: str) -> None:
+        self.ir = ir
+        self.stage = stage
+
+    def fail(self, message: str) -> None:
+        prefix = f"[{self.stage}] " if self.stage else ""
+        raise InvariantError(f"{prefix}{message}")
+
+    # ------------------------------------------------------------------
+    def check_structure(self) -> None:
+        seen: set[int] = set()
+        for key, node in zip(self.ir.positions(), self.ir.nodes()):
+            if key != node.node_id:
+                self.fail(
+                    f"node table key {key} disagrees with node id "
+                    f"{node.node_id} ({node.op})"
+                )
+            for dep in node.inputs:
+                if dep not in self.ir:
+                    self.fail(
+                        f"node {node.node_id} ({node.op}) reads undefined "
+                        f"value %{dep}"
+                    )
+                if dep not in seen:
+                    self.fail(
+                        f"node {node.node_id} ({node.op}) uses %{dep} "
+                        "before its definition (topological order broken)"
+                    )
+            if node.op.startswith("input") and node.inputs:
+                self.fail(
+                    f"input node {node.node_id} ({node.op}) must not "
+                    "consume other nodes"
+                )
+            seen.add(node.node_id)
+        if not self.ir.outputs:
+            self.fail("graph has no outputs")
+        for out in self.ir.outputs:
+            if out not in self.ir:
+                self.fail(f"output %{out} does not exist")
+        for inp in self.ir.input_ids:
+            if inp not in self.ir:
+                self.fail(f"registered input %{inp} does not exist")
+
+    # ------------------------------------------------------------------
+    def check_operand_kinds(self) -> None:
+        for node in self.ir.nodes():
+            spec = _INPUT_KINDS.get(node.op)
+            if spec is None:
+                continue  # unknown/experimental op: structural checks only
+            min_arity = sum(1 for s in spec if not s.startswith(("?", "*")))
+            variadic = any(s.startswith("*") for s in spec)
+            max_arity = len(spec) if not variadic else None
+            n = len(node.inputs)
+            if n < min_arity or (max_arity is not None and n > max_arity):
+                self.fail(
+                    f"node {node.node_id} ({node.op}) has {n} inputs; "
+                    f"expected {min_arity}"
+                    + ("" if max_arity == min_arity else f"..{max_arity or 'n'}")
+                )
+            for pos, dep in enumerate(node.inputs):
+                token = spec[pos] if pos < len(spec) else spec[-1]
+                expected = token.lstrip("?*")
+                if expected == "ptr":
+                    continue  # checked in check_batch_ptr_discipline
+                actual = _value_kind(self.ir.node(dep))
+                if not _kind_matches(expected, actual):
+                    self.fail(
+                        f"node {node.node_id} ({node.op}) input {pos} "
+                        f"(%{dep}, {self.ir.node(dep).op}) is a {actual}; "
+                        f"expected a {expected}"
+                    )
+            probs_extra = _PROBS_ARITY.get(node.op)
+            if probs_extra is not None:
+                base = min_arity
+                want = base + 1 if node.attrs.get("has_probs") else base
+                if n != want:
+                    self.fail(
+                        f"node {node.node_id} ({node.op}) has_probs="
+                        f"{bool(node.attrs.get('has_probs'))} but {n} "
+                        f"inputs (expected {want})"
+                    )
+
+    # ------------------------------------------------------------------
+    def check_layout_legality(self) -> None:
+        for node in self.ir.nodes():
+            if node.layout is not None:
+                if node.layout not in LAYOUTS:
+                    self.fail(
+                        f"node {node.node_id} ({node.op}) stamped with "
+                        f"unknown layout {node.layout!r}; expected one of "
+                        f"{LAYOUTS}"
+                    )
+                if node.op not in STRUCTURE_OPS:
+                    self.fail(
+                        f"node {node.node_id} ({node.op}) carries a layout "
+                        "decision but is not a structure operator; "
+                        "compute/finalize ops must adopt upstream layout"
+                    )
+            if node.compact_rows and node.op not in STRUCTURE_OPS:
+                self.fail(
+                    f"node {node.node_id} ({node.op}) requests row "
+                    "compaction but is not a structure operator"
+                )
+
+    # ------------------------------------------------------------------
+    def check_batch_ptr_discipline(self) -> None:
+        ptrs = [n for n in self.ir.nodes() if n.op == "sb_batch_ptr"]
+        sb_ops = [
+            n for n in self.ir.nodes()
+            if n.op.startswith("sb_") and n.op != "sb_batch_ptr"
+        ]
+        if len(ptrs) > 1:
+            self.fail(
+                f"{len(ptrs)} sb_batch_ptr nodes present; the super-batch "
+                "rewrite must introduce exactly one"
+            )
+        if sb_ops and not ptrs:
+            self.fail(
+                "super-batch operators present without an sb_batch_ptr node"
+            )
+        if not ptrs:
+            return
+        ptr = ptrs[0]
+        if not sb_ops:
+            self.fail(
+                f"sb_batch_ptr %{ptr.node_id} has no super-batch consumers; "
+                "the rewrite pass must remove an unused pointer"
+            )
+        ptr_positions = {
+            "sb_slice_cols": -1,
+            "sb_collective_sample": 1,
+            "sb_fused_extract_reduce": -1,
+        }
+        for node in sb_ops:
+            pos = ptr_positions.get(node.op)
+            if pos is None:
+                continue
+            if not node.inputs or node.inputs[pos] != ptr.node_id:
+                self.fail(
+                    f"node {node.node_id} ({node.op}) does not reference "
+                    f"sb_batch_ptr %{ptr.node_id} at operand {pos}"
+                )
+        # After the rewrite no batch-mixing plain op may survive: every
+        # collective sample and every base-graph column slice must have
+        # been converted to its segmented form.
+        for node in self.ir.nodes():
+            if node.op == "collective_sample":
+                self.fail(
+                    f"node {node.node_id}: plain collective_sample survives "
+                    "in a super-batched graph (would mix batches)"
+                )
+            if node.op == "slice_cols":
+                src = self.ir.node(node.inputs[0])
+                meta = src.attrs.get("_meta")
+                if src.op in ("input_graph", "input_precomputed") and getattr(
+                    meta, "is_base_graph", False
+                ):
+                    self.fail(
+                        f"node {node.node_id}: base-graph slice_cols not "
+                        "rewritten to sb_slice_cols (row spaces would be "
+                        "shared across batches)"
+                    )
+
+
+def check_invariants(ir: DataFlowGraph, *, stage: str = "") -> None:
+    """Validate the full IR invariant set; raise
+    :class:`~repro.errors.InvariantError` (naming ``stage``) on the
+    first violation."""
+    checker = _Checker(ir, stage)
+    checker.check_structure()
+    checker.check_operand_kinds()
+    checker.check_layout_legality()
+    checker.check_batch_ptr_discipline()

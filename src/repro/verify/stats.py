@@ -1,0 +1,234 @@
+"""Statistical tests for distribution-equivalence checking.
+
+Sampler bugs rarely crash — they skew neighbor-selection distributions
+(the failure mode C-SAW and GNNSampler both warn about), so the verifier
+compares *empirical marginals* between the eager oracle and each
+optimized variant.  Two tests cover the two data shapes involved:
+
+* :func:`chi2_homogeneity` — a two-sample chi-square test over per-edge
+  selection counts (categorical marginals), with small-cell pooling so
+  the asymptotic distribution stays valid at modest trial counts;
+* :func:`ks_2samp` — a two-sample Kolmogorov-Smirnov test over
+  continuous per-trial summaries (e.g. sampled edge-value mass).
+
+Everything is pure NumPy + math: the package's only hard dependency is
+numpy, so the chi-square and Kolmogorov tail functions are implemented
+directly (regularized incomplete gamma via series/continued fraction;
+the alternating Kolmogorov series).  ``scipy``, when present, is used
+only by the test suite to cross-validate these implementations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+__all__ = [
+    "TestResult",
+    "bonferroni",
+    "chi2_homogeneity",
+    "chi2_sf",
+    "ks_2samp",
+    "pool_small_cells",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class TestResult:
+    """Outcome of one hypothesis test."""
+
+    __test__ = False  # a result type, not a pytest collection target
+
+    statistic: float
+    p_value: float
+    dof: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Chi-square survival function (pure python/numpy)
+# ---------------------------------------------------------------------------
+def _gamma_q(a: float, x: float, *, max_iter: int = 500, eps: float = 1e-13) -> float:
+    """Regularized upper incomplete gamma Q(a, x) = Γ(a, x) / Γ(a).
+
+    Series expansion below the a+1 crossover, modified Lentz continued
+    fraction above it — the classic numerically stable split.
+    """
+    if a <= 0.0:
+        raise ValueError(f"gamma Q requires a > 0, got {a}")
+    if x < 0.0:
+        raise ValueError(f"gamma Q requires x >= 0, got {x}")
+    if x == 0.0:
+        return 1.0
+    log_prefactor = -x + a * math.log(x) - math.lgamma(a)
+    if x < a + 1.0:
+        # P(a, x) by series; Q = 1 - P.
+        term = 1.0 / a
+        total = term
+        denom = a
+        for _ in range(max_iter):
+            denom += 1.0
+            term *= x / denom
+            total += term
+            if abs(term) < abs(total) * eps:
+                break
+        p = total * math.exp(log_prefactor)
+        return min(1.0, max(0.0, 1.0 - p))
+    # Q(a, x) by continued fraction (modified Lentz).
+    tiny = 1e-300
+    b = x + 1.0 - a
+    c = 1.0 / tiny
+    d = 1.0 / b
+    h = d
+    for i in range(1, max_iter):
+        an = -i * (i - a)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + an / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < eps:
+            break
+    return min(1.0, max(0.0, math.exp(log_prefactor) * h))
+
+
+def chi2_sf(x: float, df: int) -> float:
+    """Survival function (upper tail) of the chi-square distribution."""
+    if df <= 0:
+        raise ValueError(f"chi-square needs df >= 1, got {df}")
+    if x <= 0.0:
+        return 1.0
+    return _gamma_q(df / 2.0, x / 2.0)
+
+
+# ---------------------------------------------------------------------------
+# Two-sample chi-square homogeneity over categorical counts
+# ---------------------------------------------------------------------------
+def pool_small_cells(
+    counts_a: np.ndarray,
+    counts_b: np.ndarray,
+    *,
+    min_expected: float = 5.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge rare cells so every expected count reaches ``min_expected``.
+
+    The chi-square approximation degrades when expected cell counts are
+    small; the standard remedy is pooling sparse categories.  Cells are
+    merged smallest-total-first into a single reservoir cell until every
+    remaining cell's expected count (under the pooled margins) clears
+    the threshold in *both* samples.
+    """
+    a = np.asarray(counts_a, dtype=np.float64)
+    b = np.asarray(counts_b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError("count vectors must be aligned to the same cells")
+    n_a, n_b = a.sum(), b.sum()
+    total = n_a + n_b
+    if total == 0:
+        return a, b
+    # A cell with combined total t has expected counts t * n_a/total and
+    # t * n_b/total; the binding constraint is the smaller group share.
+    share = min(n_a, n_b) / total
+    if share == 0.0:
+        return a, b
+    min_total = min_expected / share
+    order = np.argsort(a + b)
+    pooled_a: list[float] = []
+    pooled_b: list[float] = []
+    reservoir_a = reservoir_b = 0.0
+    for idx in order:
+        cell_total = a[idx] + b[idx]
+        if cell_total < min_total or reservoir_a + reservoir_b < min_total:
+            reservoir_a += a[idx]
+            reservoir_b += b[idx]
+        else:
+            pooled_a.append(a[idx])
+            pooled_b.append(b[idx])
+    if reservoir_a + reservoir_b > 0:
+        pooled_a.append(reservoir_a)
+        pooled_b.append(reservoir_b)
+    return np.asarray(pooled_a), np.asarray(pooled_b)
+
+
+def chi2_homogeneity(
+    counts_a: np.ndarray,
+    counts_b: np.ndarray,
+    *,
+    min_expected: float = 5.0,
+) -> TestResult:
+    """Two-sample chi-square test: do both count vectors share one
+    underlying categorical distribution?
+
+    ``counts_a``/``counts_b`` are aligned per-cell observation counts
+    (e.g. how often each edge was sampled across trials).  Returns the
+    statistic, degrees of freedom (#cells - 1 after pooling), and the
+    asymptotic p-value.  A p-value of 1.0 with 0 dof means there was
+    nothing to distinguish (at most one populated cell).
+    """
+    a, b = pool_small_cells(counts_a, counts_b, min_expected=min_expected)
+    n_a, n_b = a.sum(), b.sum()
+    if n_a == 0 and n_b == 0:
+        return TestResult(statistic=0.0, p_value=1.0, dof=0)
+    if n_a == 0 or n_b == 0:
+        # One sampler produced nothing at all: maximally inhomogeneous.
+        return TestResult(statistic=math.inf, p_value=0.0, dof=max(len(a) - 1, 1))
+    total = n_a + n_b
+    cell_totals = a + b
+    keep = cell_totals > 0
+    a, b, cell_totals = a[keep], b[keep], cell_totals[keep]
+    if len(cell_totals) < 2:
+        return TestResult(statistic=0.0, p_value=1.0, dof=0)
+    expected_a = cell_totals * (n_a / total)
+    expected_b = cell_totals * (n_b / total)
+    stat = float(
+        np.sum((a - expected_a) ** 2 / expected_a)
+        + np.sum((b - expected_b) ** 2 / expected_b)
+    )
+    dof = len(cell_totals) - 1
+    return TestResult(statistic=stat, p_value=chi2_sf(stat, dof), dof=dof)
+
+
+# ---------------------------------------------------------------------------
+# Two-sample Kolmogorov-Smirnov
+# ---------------------------------------------------------------------------
+def _kolmogorov_sf(lam: float, *, terms: int = 100, eps: float = 1e-10) -> float:
+    """Survival function of the Kolmogorov distribution,
+    Q(λ) = 2 Σ_{j≥1} (-1)^{j-1} exp(-2 j² λ²)."""
+    if lam <= 0.0:
+        return 1.0
+    total = 0.0
+    for j in range(1, terms + 1):
+        term = math.exp(-2.0 * j * j * lam * lam)
+        total += term if j % 2 == 1 else -term
+        if term < eps:
+            break
+    return min(1.0, max(0.0, 2.0 * total))
+
+
+def ks_2samp(sample_a: np.ndarray, sample_b: np.ndarray) -> TestResult:
+    """Two-sample KS test with the asymptotic p-value approximation."""
+    a = np.sort(np.asarray(sample_a, dtype=np.float64))
+    b = np.sort(np.asarray(sample_b, dtype=np.float64))
+    n_a, n_b = len(a), len(b)
+    if n_a == 0 or n_b == 0:
+        raise ValueError("KS test requires non-empty samples")
+    grid = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, grid, side="right") / n_a
+    cdf_b = np.searchsorted(b, grid, side="right") / n_b
+    d = float(np.max(np.abs(cdf_a - cdf_b)))
+    n_eff = n_a * n_b / (n_a + n_b)
+    lam = (math.sqrt(n_eff) + 0.12 + 0.11 / math.sqrt(n_eff)) * d
+    return TestResult(statistic=d, p_value=_kolmogorov_sf(lam), dof=0)
+
+
+def bonferroni(p_value: float, num_tests: int) -> float:
+    """Bonferroni-adjusted p-value: ``min(1, p * m)``."""
+    if num_tests < 1:
+        raise ValueError(f"num_tests must be >= 1, got {num_tests}")
+    return min(1.0, p_value * num_tests)

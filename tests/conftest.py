@@ -68,3 +68,11 @@ def unweighted_graph(rng: np.random.Generator) -> Matrix:
         rng.integers(0, n, 1500), rng.integers(0, n, 1500), n
     )
     return from_edges(src, dst, n)
+
+
+@pytest.fixture(scope="session")
+def verify_graph() -> Matrix:
+    """The deterministic weighted graph the verification suite runs on."""
+    from repro.verify import verification_graph
+
+    return verification_graph()

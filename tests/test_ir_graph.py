@@ -76,6 +76,32 @@ class TestMutation:
         with pytest.raises(PassError):
             ir.validate()
 
+    def test_validate_catches_dangling_output(self):
+        ir = build_chain()
+        ir.outputs.append(4096)
+        with pytest.raises(PassError, match="output 4096 does not exist"):
+            ir.validate()
+
+    def test_validate_catches_dangling_registered_input(self):
+        ir = build_chain()
+        ir.input_ids.append(4096)
+        with pytest.raises(PassError, match="registered input 4096"):
+            ir.validate()
+
+    def test_validate_catches_key_disagreement(self):
+        ir = build_chain()
+        ir.nodes()[-1].node_id = 4096
+        with pytest.raises(PassError, match="disagrees"):
+            ir.validate()
+
+    def test_positions_follow_insertion_order(self):
+        ir = build_chain()
+        positions = ir.positions()
+        assert sorted(positions.values()) == list(range(len(ir)))
+        assert [positions[n.node_id] for n in ir.nodes()] == list(
+            range(len(ir))
+        )
+
 
 class TestClone:
     def test_clone_is_independent(self):

@@ -15,7 +15,9 @@ from repro.ir.passes import (
     EdgeMapReduceFusion,
     ExtractSelectFusion,
     LayoutSelectionPass,
+    PassManager,
 )
+from repro.ir.passes.base import Pass
 from repro.ir.trace import trace
 from repro.sampler import OptimizationConfig, compile_sampler
 
@@ -206,6 +208,38 @@ class TestLayoutSelection:
         for node in ir.nodes():
             if node.op == "slice_cols":
                 assert not node.compact_rows
+
+
+class TestPassManagerFixpoint:
+    class _AlwaysChanges(Pass):
+        """Pathological pass that claims a change on every run — the
+        shape of an accidental rewrite/undo oscillation."""
+
+        name = "always_changes"
+
+        def __init__(self) -> None:
+            self.runs = 0
+
+        def run(self, ir):
+            self.runs += 1
+            return True
+
+    def test_terminates_at_max_iterations(self, small_graph):
+        ir, _ = trace(sage_layer, small_graph, np.arange(8), constants={"K": 3})
+        oscillator = self._AlwaysChanges()
+        report = PassManager([oscillator], max_iterations=3).run(ir)
+        assert report.iterations == 3
+        assert oscillator.runs == 3
+        assert report.applied == ["always_changes"] * 3
+
+    def test_stops_early_at_fixpoint(self, small_graph):
+        ir, _ = trace(sage_layer, small_graph, np.arange(8), constants={"K": 3})
+        # Cleanup passes converge: one changing iteration, one quiescent.
+        report = PassManager(
+            [DeadCodeElimination(), CommonSubexpressionElimination()],
+            max_iterations=8,
+        ).run(ir)
+        assert report.iterations < 8
 
 
 class TestEndToEndEquivalence:

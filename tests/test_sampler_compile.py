@@ -7,7 +7,8 @@ import pytest
 
 from repro.core import new_rng
 from repro.device import ExecutionContext, V100
-from repro.sampler import OptimizationConfig, compile_sampler
+from repro.errors import TraceError
+from repro.sampler import OptimizationConfig, _unflatten, compile_sampler
 
 
 def sage_layer(A, frontiers, K):
@@ -24,6 +25,25 @@ class TestOptimizationConfig:
     def test_plain_disables_everything(self):
         config = OptimizationConfig.plain()
         assert not (config.computation or config.layout or config.superbatch)
+
+
+class TestUnflatten:
+    def test_roundtrips_nested_structure(self):
+        structure = (("leaf", "leaf"), "leaf")
+        assert _unflatten(structure, [1, 2, 3]) == ((1, 2), 3)
+        assert _unflatten("leaf", [7]) == 7
+
+    def test_too_few_outputs_rejected(self):
+        with pytest.raises(TraceError, match="not enough outputs"):
+            _unflatten(("leaf", "leaf"), [1])
+
+    def test_leftover_outputs_rejected(self):
+        # Extra flat values mean the IR's output list drifted from the
+        # traced return shape -- must never pass silently.
+        with pytest.raises(TraceError, match="2 traced output"):
+            _unflatten(("leaf", "leaf"), [1, 2, 3, 4])
+        with pytest.raises(TraceError, match="left unconsumed"):
+            _unflatten("leaf", [1, 2])
 
 
 class TestCompile:

@@ -1,0 +1,150 @@
+"""Tests for the pure-numpy statistical machinery in repro.verify.stats."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.verify.stats import (
+    TestResult,
+    bonferroni,
+    chi2_homogeneity,
+    chi2_sf,
+    ks_2samp,
+    pool_small_cells,
+)
+
+
+class TestChi2Sf:
+    def test_known_critical_values(self):
+        # Classic table values: P(X² > x | df) = alpha.
+        assert chi2_sf(3.841459, 1) == pytest.approx(0.05, abs=1e-6)
+        assert chi2_sf(5.991465, 2) == pytest.approx(0.05, abs=1e-6)
+        assert chi2_sf(18.307038, 10) == pytest.approx(0.05, abs=1e-6)
+        assert chi2_sf(118.136, 90) == pytest.approx(0.025, abs=1e-4)
+
+    def test_df2_closed_form(self):
+        # With 2 degrees of freedom the survival function is exp(-x/2).
+        for x in (0.5, 1.0, 3.0, 10.0, 40.0):
+            assert chi2_sf(x, 2) == pytest.approx(math.exp(-x / 2), rel=1e-10)
+
+    def test_boundaries(self):
+        assert chi2_sf(0.0, 5) == 1.0
+        assert chi2_sf(-1.0, 5) == 1.0
+        assert 0.0 <= chi2_sf(1e4, 3) <= 1e-12
+
+    def test_rejects_bad_df(self):
+        with pytest.raises(ValueError):
+            chi2_sf(1.0, 0)
+
+    def test_matches_scipy(self):
+        stats = pytest.importorskip("scipy.stats")
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            x = float(rng.uniform(0.01, 200.0))
+            df = int(rng.integers(1, 120))
+            assert chi2_sf(x, df) == pytest.approx(
+                float(stats.chi2.sf(x, df)), rel=1e-8, abs=1e-12
+            )
+
+
+class TestKs2Samp:
+    def test_identical_samples(self):
+        a = np.arange(50, dtype=float)
+        result = ks_2samp(a, a.copy())
+        assert result.statistic == 0.0
+        assert result.p_value == pytest.approx(1.0)
+
+    def test_disjoint_samples(self):
+        result = ks_2samp(np.arange(50.0), np.arange(100.0, 150.0))
+        assert result.statistic == 1.0
+        assert result.p_value < 1e-6
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ks_2samp(np.array([]), np.arange(5.0))
+
+    def test_matches_scipy(self):
+        stats = pytest.importorskip("scipy.stats")
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            a = rng.normal(size=int(rng.integers(20, 200)))
+            b = rng.normal(loc=rng.uniform(0, 1), size=int(rng.integers(20, 200)))
+            ours = ks_2samp(a, b)
+            ref = stats.ks_2samp(a, b, method="asymp")
+            assert ours.statistic == pytest.approx(ref.statistic, abs=1e-12)
+            # Different asymptotic approximations; agreement is loose but
+            # must never flip a confident verdict.
+            assert ours.p_value == pytest.approx(ref.pvalue, abs=0.05)
+
+
+class TestPooling:
+    def test_no_pooling_when_all_large(self):
+        a = np.full(5, 100.0)
+        b = np.full(5, 100.0)
+        pa, pb = pool_small_cells(a, b)
+        assert len(pa) == 5
+        assert pa.sum() == a.sum() and pb.sum() == b.sum()
+
+    def test_small_cells_merged(self):
+        a = np.array([100.0, 1.0, 1.0, 1.0, 100.0])
+        b = np.array([100.0, 0.0, 1.0, 2.0, 100.0])
+        pa, pb = pool_small_cells(a, b)
+        assert len(pa) < 5
+        assert pa.sum() == a.sum() and pb.sum() == b.sum()
+        # Every pooled cell's expected count clears the threshold.
+        share = min(pa.sum(), pb.sum()) / (pa.sum() + pb.sum())
+        assert ((pa + pb) * share >= 5.0 - 1e-9).all()
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pool_small_cells(np.ones(3), np.ones(4))
+
+
+class TestChi2Homogeneity:
+    def test_same_distribution_accepts(self):
+        rng = np.random.default_rng(7)
+        p = np.array([0.5, 0.3, 0.15, 0.05])
+        a = np.bincount(rng.choice(4, 4000, p=p), minlength=4)
+        b = np.bincount(rng.choice(4, 4000, p=p), minlength=4)
+        assert chi2_homogeneity(a, b).p_value > 0.01
+
+    def test_different_distribution_rejects(self):
+        rng = np.random.default_rng(7)
+        a = np.bincount(rng.choice(4, 4000, p=[0.5, 0.3, 0.15, 0.05]), minlength=4)
+        b = np.bincount(rng.choice(4, 4000, p=[0.25, 0.25, 0.25, 0.25]), minlength=4)
+        assert chi2_homogeneity(a, b).p_value < 1e-6
+
+    def test_empty_both(self):
+        result = chi2_homogeneity(np.zeros(4), np.zeros(4))
+        assert result == TestResult(statistic=0.0, p_value=1.0, dof=0)
+
+    def test_one_empty(self):
+        result = chi2_homogeneity(np.array([10.0, 10.0]), np.zeros(2))
+        assert result.p_value == 0.0
+
+    def test_false_positive_rate(self):
+        # Under H0 the test must reject at ~alpha, not wildly above:
+        # the whole verification suite's flake budget depends on this.
+        rng = np.random.default_rng(11)
+        p = np.full(10, 0.1)
+        rejections = 0
+        runs = 300
+        for _ in range(runs):
+            a = np.bincount(rng.choice(10, 500, p=p), minlength=10)
+            b = np.bincount(rng.choice(10, 500, p=p), minlength=10)
+            if chi2_homogeneity(a, b).p_value < 0.05:
+                rejections += 1
+        assert rejections / runs < 0.10
+
+
+class TestBonferroni:
+    def test_scales_and_clips(self):
+        assert bonferroni(0.01, 5) == pytest.approx(0.05)
+        assert bonferroni(0.5, 9) == 1.0
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            bonferroni(0.5, 0)
