@@ -12,6 +12,8 @@ LADIES vs DGL).
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 import pytest
 
@@ -53,7 +55,10 @@ def _train(algorithm: str, system_name: str) -> tuple[float, float]:
         if isinstance(template, ProfiledPipeline)
         else inner
     )
-    rng = np.random.default_rng(hash(system_name) % 2**31)
+    # Deterministic per-system seed: Python's str hash is salted per process,
+    # which would make checked-in accuracy columns irreproducible.
+    seed = int.from_bytes(hashlib.sha256(system_name.encode()).digest()[:4], "little")
+    rng = np.random.default_rng(seed)
     model = model_cls(
         ds.features.shape[1], 32, ds.num_classes, num_layers=num_layers, rng=rng
     )
