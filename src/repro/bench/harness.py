@@ -10,6 +10,7 @@ wall time, plus launch/memory/occupancy statistics for Tables 5 and 9.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import time
 
@@ -20,6 +21,7 @@ from repro.core import minibatches, new_rng
 from repro.datasets import Dataset, load_dataset
 from repro.device import DeviceSpec, ExecutionContext, get_device
 from repro.errors import UnsupportedAlgorithmError
+from repro.profile.spans import Profiler
 
 #: Default mini-batch size (the DGL/PyG example configuration).
 DEFAULT_BATCH_SIZE = 1024
@@ -56,11 +58,15 @@ def run_sampling_epoch(
     superbatch: int = DEFAULT_SUPERBATCH,
     seed: int = 0,
     max_batches: int | None = None,
+    profiler: Profiler | None = None,
 ) -> EpochStats:
     """Run one sampling epoch and collect its statistics.
 
     Raises :class:`UnsupportedAlgorithmError` for N/A cells, mirroring
-    the missing bars of Figures 7/8.
+    the missing bars of Figures 7/8.  With ``profiler`` given, the run
+    is traced as nested spans (``compile → pass:*`` during pipeline
+    construction, ``epoch → batch → kernel:*`` during sampling) on both
+    the host and simulated clocks; measured statistics are unaffected.
     """
     system.check_support(algorithm, dataset)
     rng = new_rng(seed)
@@ -68,26 +74,52 @@ def run_sampling_epoch(
     batches = minibatches(seeds, batch_size, shuffle=True, rng=rng)
     if max_batches is not None:
         batches = batches[:max_batches]
-    pipeline = system.build_pipeline(algorithm, dataset, batches[0])
-    ctx = ExecutionContext(device, graph_on_device=dataset.graph_on_device)
-    use_superbatch = (
-        isinstance(system, GSamplerSystem)
-        and system.config.superbatch
-        and pipeline.supports_superbatch
-        and superbatch > 1
+
+    def span(name: str, category: str, **attrs: object):
+        if profiler is None:
+            return contextlib.nullcontext()
+        return profiler.span(name, category, **attrs)
+
+    activation = (
+        profiler.activate() if profiler is not None else contextlib.nullcontext()
     )
-    start = time.perf_counter()
-    if use_superbatch:
-        for lo in range(0, len(batches), superbatch):
-            group = batches[lo : lo + superbatch]
-            if len(group) == 1:
-                pipeline.sample_batch(group[0], ctx=ctx, rng=rng)
+    with activation:
+        pipeline = system.build_pipeline(algorithm, dataset, batches[0])
+        ctx = ExecutionContext(device, graph_on_device=dataset.graph_on_device)
+        if profiler is not None:
+            profiler.attach(ctx)
+        # Measurement starts here: restart peak tracking so pool peaks
+        # reached during pipeline construction / warmup probes against a
+        # shared pool cannot leak into the epoch's memory column.
+        ctx.reset(include_peak=True)
+        use_superbatch = (
+            isinstance(system, GSamplerSystem)
+            and system.config.superbatch
+            and pipeline.supports_superbatch
+            and superbatch > 1
+        )
+        start = time.perf_counter()
+        with span(
+            "epoch",
+            "epoch",
+            system=system.name,
+            algorithm=algorithm,
+            dataset=dataset.name,
+            device=device.name,
+        ):
+            if use_superbatch:
+                for index, lo in enumerate(range(0, len(batches), superbatch)):
+                    group = batches[lo : lo + superbatch]
+                    with span(f"batch[{index}]", "batch", size=len(group)):
+                        if len(group) == 1:
+                            pipeline.sample_batch(group[0], ctx=ctx, rng=rng)
+                        else:
+                            pipeline.sample_superbatch(group, ctx=ctx, rng=rng)
             else:
-                pipeline.sample_superbatch(group, ctx=ctx, rng=rng)
-    else:
-        for batch in batches:
-            pipeline.sample_batch(batch, ctx=ctx, rng=rng)
-    wall = time.perf_counter() - start
+                for index, batch in enumerate(batches):
+                    with span(f"batch[{index}]", "batch", size=len(batch)):
+                        pipeline.sample_batch(batch, ctx=ctx, rng=rng)
+        wall = time.perf_counter() - start
     return EpochStats(
         system=system.name,
         algorithm=algorithm,
@@ -113,6 +145,7 @@ def measure_cell(
     seed: int = 0,
     max_batches: int | None = None,
     superbatch: int = DEFAULT_SUPERBATCH,
+    profiler: Profiler | None = None,
 ) -> EpochStats | None:
     """One cell of a comparison table; ``None`` marks an N/A cell."""
     dataset = load_dataset(dataset_name, scale=scale)
@@ -130,6 +163,7 @@ def measure_cell(
             seed=seed,
             max_batches=max_batches,
             superbatch=superbatch,
+            profiler=profiler,
         )
     except UnsupportedAlgorithmError:
         return None

@@ -9,6 +9,10 @@
 * ``verify`` — statistically verify that every optimization
   configuration of an algorithm samples the same distribution as the
   eager reference executor (the ``repro.verify`` subsystem);
+* ``profile`` — trace one sampling epoch with the span profiler
+  (the ``repro.profile`` subsystem): print a Table-9-style report,
+  write a Chrome-trace/Perfetto JSON, and append a ``BENCH_<tag>.json``
+  trajectory record, flagging regressions against the previous run;
 * ``datasets`` / ``algorithms`` / ``systems`` — list what is available.
 """
 
@@ -73,6 +77,39 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=3,
         help="mini-batches per super-batch launch (0 disables that variant)",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="trace one sampling epoch: report, Chrome trace, BENCH record",
+    )
+    profile.add_argument("algorithm")
+    profile.add_argument("--system", default="gsampler", choices=_SYSTEMS)
+    profile.add_argument("--dataset", default="pd")
+    profile.add_argument("--device", default="v100", choices=("v100", "t4", "cpu"))
+    profile.add_argument("--batch-size", type=int, default=512)
+    profile.add_argument("--scale", type=float, default=0.25)
+    profile.add_argument("--max-batches", type=int, default=4)
+    profile.add_argument(
+        "--out-dir",
+        default=".",
+        help="directory receiving the trace and BENCH files",
+    )
+    profile.add_argument(
+        "--trace-out",
+        default=None,
+        help="Chrome-trace path (default: <out-dir>/trace_<tag>.json)",
+    )
+    profile.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative growth that counts as a regression",
+    )
+    profile.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit 3 when the comparator flags a regression",
     )
 
     sub.add_parser("datasets", help="list catalog datasets")
@@ -207,6 +244,124 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if all_passed else 1
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.ir.passes.base import PassStat
+    from repro.profile import (
+        Profiler,
+        append_record,
+        bench_path,
+        build_text_report,
+        compare_metrics,
+        write_chrome_trace,
+    )
+
+    profiler = Profiler()
+    stats = measure_cell(
+        args.system,
+        args.algorithm,
+        args.dataset,
+        device_name=args.device,
+        batch_size=args.batch_size,
+        scale=args.scale,
+        max_batches=args.max_batches,
+        profiler=profiler,
+    )
+    if stats is None:
+        print(
+            f"{args.system} does not support {args.algorithm} on "
+            f"{args.dataset} (an N/A cell in the paper's figures)",
+            file=sys.stderr,
+        )
+        return 1
+    ctx = profiler.context
+    assert ctx is not None
+    tag = f"{args.system}_{args.algorithm}_{args.dataset}_{stats.device}"
+
+    # Rebuild per-pass statistics from the recorded pass spans so the
+    # report covers every compiled layer the epoch touched.
+    pass_stats = [
+        PassStat(
+            name=span.name.removeprefix("pass:"),
+            iteration=int(span.attrs.get("iteration", 1)),  # type: ignore[arg-type]
+            changed=bool(span.attrs.get("changed", False)),
+            wall_seconds=span.host_duration,
+            nodes_before=int(span.attrs.get("nodes_before", 0)),  # type: ignore[arg-type]
+            nodes_after=int(span.attrs.get("nodes_after", 0)),  # type: ignore[arg-type]
+            edges_before=int(span.attrs.get("edges_before", 0)),  # type: ignore[arg-type]
+            edges_after=int(span.attrs.get("edges_after", 0)),  # type: ignore[arg-type]
+        )
+        for span in profiler.spans_by_category("pass")
+    ]
+    print(
+        build_text_report(
+            ctx,
+            title=(
+                f"Profile — {args.algorithm} on {args.dataset} "
+                f"({stats.device}), {stats.num_batches} batches"
+            ),
+            wall_seconds=stats.wall_seconds,
+            pass_stats=pass_stats,
+        )
+    )
+
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    trace_path = (
+        pathlib.Path(args.trace_out)
+        if args.trace_out
+        else out_dir / f"trace_{tag}.json"
+    )
+    write_chrome_trace(profiler, trace_path)
+    print(f"\nchrome trace: {trace_path} ({len(profiler.spans)} spans)")
+
+    compile_spans = profiler.spans_by_category("compile")
+    metrics = {
+        "sim_seconds": stats.sim_seconds,
+        "wall_seconds": stats.wall_seconds,
+        "launches": stats.launches,
+        "peak_bytes": stats.peak_memory_bytes,
+        "sm_percent": stats.sm_percent,
+        "num_batches": stats.num_batches,
+        "compile_wall_seconds": sum(
+            s.host_duration for s in compile_spans if s.name == "compile"
+        ),
+        "time_by_kernel": ctx.time_by_kernel(),
+    }
+    meta = {
+        "system": stats.system,
+        "algorithm": args.algorithm,
+        "dataset": args.dataset,
+        "device": stats.device,
+        "batch_size": args.batch_size,
+        "scale": args.scale,
+        "max_batches": args.max_batches,
+    }
+    record_path = bench_path(out_dir, tag)
+    record, previous = append_record(
+        record_path, tag=tag, meta=meta, metrics=metrics
+    )
+    print(f"trajectory: {record_path} (run {record['run']})")
+
+    if previous is None:
+        print("no previous record; comparator skipped")
+        return 0
+    regressions = compare_metrics(
+        previous["metrics"], record["metrics"], threshold=args.threshold
+    )
+    if not regressions:
+        print(
+            f"no regressions vs run {previous['run']} "
+            f"(threshold {args.threshold:.0%})"
+        )
+        return 0
+    print(f"REGRESSIONS vs run {previous['run']}:")
+    for regression in regressions:
+        print(f"  {regression.describe()}")
+    return 3 if args.fail_on_regression else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point used by ``python -m repro`` and tests."""
     args = _build_parser().parse_args(argv)
@@ -216,6 +371,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_compare(args)
     if args.command == "verify":
         return _cmd_verify(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "datasets":
         print("\n".join(available_datasets()))
         return 0

@@ -16,9 +16,13 @@ from __future__ import annotations
 
 import dataclasses
 from collections import defaultdict
+from typing import TYPE_CHECKING
 
 from repro.device.memory import MemoryPool
 from repro.device.spec import CPU, DeviceSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.profile.spans import Profiler
 
 
 @dataclasses.dataclass(frozen=True)
@@ -49,6 +53,12 @@ class ExecutionContext:
     memory:
         Optional shared memory pool; a fresh unbounded pool is created
         when omitted.
+    profiler:
+        Optional :class:`~repro.profile.Profiler`; when set, every
+        recorded launch is mirrored as a leaf span on the profiler's
+        span tree.  ``None`` (the default) keeps :meth:`record` on a
+        zero-overhead path — profiling never changes launch pricing, so
+        simulated times are bit-identical either way.
     """
 
     def __init__(
@@ -58,10 +68,12 @@ class ExecutionContext:
         graph_on_device: bool = True,
         memory: MemoryPool | None = None,
         cost_scale: float = 1.0,
+        profiler: "Profiler | None" = None,
     ) -> None:
         self.device = device
         self.graph_on_device = graph_on_device
         self.memory = memory if memory is not None else MemoryPool()
+        self.profiler = profiler
         #: System-level kernel efficiency factor (1.0 = gSampler's tuned
         #: kernels). Baseline execution models run the same logical
         #: kernels through less specialized implementations; their factor
@@ -113,12 +125,24 @@ class ExecutionContext:
         )
         self.launches.append(launch)
         self.elapsed += seconds
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.on_kernel(launch)
         return launch
 
-    def reset(self) -> None:
-        """Clear the ledger and timer (memory pool is left untouched)."""
+    def reset(self, *, include_peak: bool = False) -> None:
+        """Clear the ledger and timer.
+
+        The memory pool's live/cached state is always left untouched (a
+        warmed cache is part of what super-batching amortizes), but
+        ``include_peak=True`` additionally restarts peak tracking from
+        the current footprint so measurements taken after a warmup do
+        not report the warmup's peak (the Table-9 memory column bug).
+        """
         self.launches.clear()
         self.elapsed = 0.0
+        if include_peak:
+            self.memory.reset_peak()
 
     # ------------------------------------------------------------------
     # Reporting helpers

@@ -57,11 +57,12 @@ class MemoryPool:
         """Allocate ``nbytes`` (rounded to the granule) under ``tag``."""
         size = self._round(nbytes)
         recycled = self._cached.get(size, 0) > 0
-        if recycled:
-            self._cached[size] -= 1
-            self.cached_bytes -= size
-            self.recycle_count += 1
-        if self.capacity is not None:
+        # The capacity check runs before any counter mutation so that a
+        # MemoryBudgetError leaves the pool exactly as it was.  Recycled
+        # blocks are exempt: they swap cached bytes for live bytes, a
+        # net-zero move against capacity, so they can neither exceed the
+        # budget nor justify a trim.
+        if self.capacity is not None and not recycled:
             if self.live_bytes + self.cached_bytes + size > self.capacity:
                 self.trim()
                 if self.live_bytes + size > self.capacity:
@@ -69,6 +70,16 @@ class MemoryPool:
                         f"allocation of {size} bytes for {tag!r} exceeds "
                         f"capacity {self.capacity} (live {self.live_bytes})"
                     )
+        if recycled:
+            remaining = self._cached[size] - 1
+            if remaining:
+                self._cached[size] = remaining
+            else:
+                # Drop empty buckets so long super-batch runs cannot grow
+                # the cache dict without bound.
+                del self._cached[size]
+            self.cached_bytes -= size
+            self.recycle_count += 1
         handle = Allocation(alloc_id=self._next_id, nbytes=size, tag=tag)
         self._next_id += 1
         self._live[handle.alloc_id] = handle

@@ -1,6 +1,12 @@
 """IR optimization passes: cleanup, fusion, pre-processing, layout, batch."""
 
-from repro.ir.passes.base import Pass, PassManager, PassReport
+from repro.ir.passes.base import (
+    Pass,
+    PassManager,
+    PassReport,
+    PassStat,
+    run_measured_pass,
+)
 from repro.ir.passes.cleanup import (
     CommonSubexpressionElimination,
     DeadCodeElimination,
@@ -27,7 +33,9 @@ __all__ = [
     "Pass",
     "PassManager",
     "PassReport",
+    "PassStat",
     "PreprocessPass",
+    "run_measured_pass",
     "SuperBatchPass",
     "needs_block_diagonal",
 ]

@@ -1,0 +1,52 @@
+"""Profiling & trace subsystem: span tracer, exports, and trajectories.
+
+Four layers turn the flat kernel-launch ledger into attributable cost:
+
+* :mod:`repro.profile.spans` — a nested span tracer on two clocks (host
+  wall time and simulated device time), fed by
+  :class:`~repro.device.ExecutionContext`,
+  :class:`~repro.ir.passes.base.PassManager`, and
+  :class:`~repro.sampler.CompiledSampler`;
+* :mod:`repro.profile.chrome` — Chrome-trace/Perfetto JSON export;
+* :mod:`repro.profile.report` — the Table-9-style text report
+  (time-by-kernel, launches, SM%, pool peak, pass pipeline);
+* :mod:`repro.profile.trajectory` — persisted ``BENCH_<tag>.json``
+  records with a regression comparator.
+
+CLI: ``gsampler-repro profile <algorithm> --device <spec>``.
+
+Profiling is opt-in; with no active profiler every hook is one ``is not
+None`` check and simulated times are bit-identical to an uninstrumented
+run.
+"""
+
+from repro.profile.chrome import to_chrome_trace, write_chrome_trace
+from repro.profile.report import build_text_report, kernel_table, pass_table
+from repro.profile.spans import Profiler, Span, active_profiler
+from repro.profile.trajectory import (
+    FLAGGED_METRICS,
+    Regression,
+    append_record,
+    bench_path,
+    compare_latest,
+    compare_metrics,
+    load_trajectory,
+)
+
+__all__ = [
+    "FLAGGED_METRICS",
+    "Profiler",
+    "Regression",
+    "Span",
+    "active_profiler",
+    "append_record",
+    "bench_path",
+    "build_text_report",
+    "compare_latest",
+    "compare_metrics",
+    "kernel_table",
+    "load_trajectory",
+    "pass_table",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

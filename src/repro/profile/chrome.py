@@ -1,0 +1,92 @@
+"""Chrome-trace / Perfetto export of a recorded span tree.
+
+The `Trace Event Format`_ is the JSON schema understood by
+``chrome://tracing`` and https://ui.perfetto.dev: a flat list of complete
+("X"-phase) events with microsecond timestamps, grouped into processes
+and threads.  We emit two synthetic processes:
+
+* **pid 1 — host**: every span, on the host wall clock (what the Python
+  process actually spent);
+* **pid 2 — device (simulated)**: spans that accumulated simulated
+  device seconds (epoch/batch/kernel), on the ledger clock — the
+  reproduction's stand-in for a CUDA timeline.
+
+Nesting is conveyed positionally, exactly as Chrome renders native
+traces: a child's interval lies inside its parent's, so the viewer stacks
+them.  All durations are clamped non-negative.
+
+.. _Trace Event Format:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.profile.spans import Profiler, Span
+
+#: Trace timestamps are integer-ish microseconds.
+_US = 1e6
+
+HOST_PID = 1
+DEVICE_PID = 2
+
+
+def _event(
+    span: Span, *, pid: int, start: float, duration: float
+) -> dict[str, object]:
+    return {
+        "name": span.name,
+        "cat": span.category,
+        "ph": "X",
+        "ts": round(start * _US, 3),
+        "dur": round(max(0.0, duration) * _US, 3),
+        "pid": pid,
+        "tid": 1,
+        "args": {k: v for k, v in span.attrs.items()},
+    }
+
+
+def to_chrome_trace(profiler: Profiler) -> dict[str, object]:
+    """Build the trace-event dictionary for ``profiler``'s spans."""
+    events: list[dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": HOST_PID,
+            "args": {"name": "host (wall clock)"},
+        },
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": DEVICE_PID,
+            "args": {"name": "device (simulated)"},
+        },
+    ]
+    for span in profiler.spans:
+        events.append(
+            _event(
+                span,
+                pid=HOST_PID,
+                start=span.host_start,
+                duration=span.host_duration,
+            )
+        )
+        if span.sim_duration > 0.0 or span.category == "kernel":
+            events.append(
+                _event(
+                    span,
+                    pid=DEVICE_PID,
+                    start=span.sim_start,
+                    duration=span.sim_duration,
+                )
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(profiler: Profiler, path: str | pathlib.Path) -> pathlib.Path:
+    """Serialize the trace to ``path`` and return it."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(to_chrome_trace(profiler), indent=1))
+    return path

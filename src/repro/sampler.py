@@ -21,6 +21,7 @@ Example::
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import itertools
 from collections.abc import Callable, Iterator, Sequence
@@ -46,8 +47,18 @@ from repro.ir.passes import (
     PreprocessPass,
     SuperBatchPass,
 )
+from repro.ir.passes.base import PassStat, run_measured_pass
 from repro.ir.trace import trace
 from repro.ir import superbatch_ops
+from repro.profile.spans import active_profiler
+
+
+def _span(name: str, category: str, **attrs: object):
+    """A profiler span when one is active, else a free null context."""
+    profiler = active_profiler()
+    if profiler is None:
+        return contextlib.nullcontext()
+    return profiler.span(name, category, **attrs)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -99,6 +110,7 @@ class CompiledSampler:
         config: OptimizationConfig,
         pass_log: list[str],
         debug: bool = False,
+        pass_stats: list[PassStat] | None = None,
     ) -> None:
         self.ir = ir
         self.graph = graph
@@ -107,6 +119,9 @@ class CompiledSampler:
         self.config = config
         self.pass_log = pass_log
         self.debug = debug
+        #: Per-pass compile measurements (wall time, IR deltas), in
+        #: execution order; extended when the super-batch rewrite runs.
+        self.pass_stats: list[PassStat] = list(pass_stats or [])
         self._superbatch_ir: DataFlowGraph | None = None
 
     # ------------------------------------------------------------------
@@ -120,18 +135,22 @@ class CompiledSampler:
     ) -> object:
         """Execute one mini-batch; returns values shaped like the trace."""
         rng = rng if rng is not None else new_rng(None)
-        interp = Interpreter(self.ir, ctx, precomputed=self.precomputed)
-        inputs: dict[str, object] = {"A": self.graph, "frontiers": np.asarray(frontiers)}
-        inputs.update(tensors or {})
-        outputs = interp.run(inputs, rng)
-        return _unflatten(self.structure, outputs)
+        with _span("sampler.run", "exec", batch_size=int(np.size(frontiers))):
+            interp = Interpreter(self.ir, ctx, precomputed=self.precomputed)
+            inputs: dict[str, object] = {
+                "A": self.graph,
+                "frontiers": np.asarray(frontiers),
+            }
+            inputs.update(tensors or {})
+            outputs = interp.run(inputs, rng)
+            return _unflatten(self.structure, outputs)
 
     # ------------------------------------------------------------------
     def superbatch_ir(self) -> DataFlowGraph:
         """The IR rewritten for super-batched execution (cached)."""
         if self._superbatch_ir is None:
             cloned = self.ir.clone()
-            SuperBatchPass().run(cloned)
+            self.pass_stats.append(run_measured_pass(SuperBatchPass(), cloned))
             if self.debug:
                 from repro.verify.invariants import check_invariants
 
@@ -161,24 +180,27 @@ class CompiledSampler:
                 "one-layer contract"
             )
         rng = rng if rng is not None else new_rng(None)
-        concat = np.concatenate([np.asarray(b) for b in frontier_batches])
-        batch_ptr = np.zeros(len(frontier_batches) + 1, dtype=np.int64)
-        np.cumsum([len(b) for b in frontier_batches], out=batch_ptr[1:])
-        ir = self.superbatch_ir()
-        interp = Interpreter(ir, ctx, precomputed=self.precomputed)
-        inputs: dict[str, object] = {
-            "A": self.graph,
-            "frontiers": concat,
-            "_batch_ptr": batch_ptr,
-        }
-        inputs.update(tensors or {})
-        outputs = interp.run(inputs, rng)
-        matrix = outputs[0]
-        assert isinstance(matrix, Matrix)
-        pieces = superbatch_ops.split_sample(
-            matrix, batch_ptr, self.graph.shape[0], ctx
-        )
-        return [(piece, piece.row()) for piece in pieces]
+        with _span(
+            "sampler.superbatch", "exec", num_batches=len(frontier_batches)
+        ):
+            concat = np.concatenate([np.asarray(b) for b in frontier_batches])
+            batch_ptr = np.zeros(len(frontier_batches) + 1, dtype=np.int64)
+            np.cumsum([len(b) for b in frontier_batches], out=batch_ptr[1:])
+            ir = self.superbatch_ir()
+            interp = Interpreter(ir, ctx, precomputed=self.precomputed)
+            inputs: dict[str, object] = {
+                "A": self.graph,
+                "frontiers": concat,
+                "_batch_ptr": batch_ptr,
+            }
+            inputs.update(tensors or {})
+            outputs = interp.run(inputs, rng)
+            matrix = outputs[0]
+            assert isinstance(matrix, Matrix)
+            pieces = superbatch_ops.split_sample(
+                matrix, batch_ptr, self.graph.shape[0], ctx
+            )
+            return [(piece, piece.row()) for piece in pieces]
 
     # ------------------------------------------------------------------
     def choose_superbatch_size(
@@ -233,46 +255,53 @@ def compile_sampler(
     check — the mode every verification test compiles under.
     """
     config = config if config is not None else OptimizationConfig()
-    ir, info = trace(
-        fn, graph, example_frontiers, constants=constants, tensors=tensors
-    )
-    precomputed: dict[str, object] = {}
-    pass_log: list[str] = []
-    if config.computation:
-        manager = PassManager(
-            [
-                DeadCodeElimination(),
-                CommonSubexpressionElimination(),
-                PreprocessPass(graph, precomputed),
-                ExtractSelectFusion(),
-                ExtractReduceFusion(),
-                EdgeMapFusion(),
-                EdgeMapReduceFusion(),
-            ],
-            debug=debug,
+    with _span("compile", "compile", config=config.label()):
+        with _span("trace", "compile"):
+            ir, info = trace(
+                fn, graph, example_frontiers, constants=constants, tensors=tensors
+            )
+        precomputed: dict[str, object] = {}
+        pass_log: list[str] = []
+        pass_stats: list[PassStat] = []
+        if config.computation:
+            manager = PassManager(
+                [
+                    DeadCodeElimination(),
+                    CommonSubexpressionElimination(),
+                    PreprocessPass(graph, precomputed),
+                    ExtractSelectFusion(),
+                    ExtractReduceFusion(),
+                    EdgeMapFusion(),
+                    EdgeMapReduceFusion(),
+                ],
+                debug=debug,
+            )
+            report = manager.run(ir)
+            pass_log.extend(report.applied)
+            pass_stats.extend(report.stats)
+        layout_pass = (
+            LayoutSelectionPass() if config.layout else GreedyLayoutPass()
         )
-        report = manager.run(ir)
-        pass_log.extend(report.applied)
-    layout_pass = (
-        LayoutSelectionPass() if config.layout else GreedyLayoutPass()
-    )
-    if layout_pass.run(ir):
-        pass_log.append(layout_pass.name)
-    if debug:
-        from repro.verify.invariants import check_invariants
+        layout_stat = run_measured_pass(layout_pass, ir)
+        pass_stats.append(layout_stat)
+        if layout_stat.changed:
+            pass_log.append(layout_pass.name)
+        if debug:
+            from repro.verify.invariants import check_invariants
 
-        check_invariants(ir, stage=layout_pass.name)
-    else:
-        ir.validate()
-    return CompiledSampler(
-        ir,
-        graph,
-        structure=info["structure"],
-        precomputed=precomputed,
-        config=config,
-        pass_log=pass_log,
-        debug=debug,
-    )
+            check_invariants(ir, stage=layout_pass.name)
+        else:
+            ir.validate()
+        return CompiledSampler(
+            ir,
+            graph,
+            structure=info["structure"],
+            precomputed=precomputed,
+            config=config,
+            pass_log=pass_log,
+            debug=debug,
+            pass_stats=pass_stats,
+        )
 
 
 def _unflatten(structure: object, flat: list[object]) -> object:
