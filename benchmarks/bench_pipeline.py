@@ -1,0 +1,83 @@
+"""Pipelined vs serial epochs across device specs (the overlap study).
+
+A serial epoch pays sampling + feature transfer + model compute in
+sequence; the pipelined executor overlaps them on simulated queues with
+a degree-ordered feature cache trimming PCIe traffic.  Two shapes must
+hold for every device cell: (1) losses and accuracies are bit-identical
+— pipelining only reorders *accounting*, never computation; (2) the
+pipelined epoch is never slower, and on the acceptance cell
+(graphsage/PD/V100, default cache ratio) at least 20% faster.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table
+from repro.datasets import load_dataset
+from repro.device import CPU, T4, V100
+from repro.pipeline import run_pipeline_cell
+
+from benchmarks.conftest import BENCH_SCALE, MAX_BATCHES
+
+#: (sampling device, training device) cells; the CPU row mirrors the
+#: paper's CPU-sampling baselines, which still train on the GPU.
+DEVICE_CELLS = (
+    ("v100", V100, V100),
+    ("t4", T4, T4),
+    ("cpu+v100", CPU, V100),
+)
+
+
+@pytest.mark.parametrize("algorithm", ["graphsage", "ladies"])
+def test_pipeline_overlap(algorithm, report):
+    ds = load_dataset("pd", scale=BENCH_SCALE)
+    rows = []
+    for label, device, train_device in DEVICE_CELLS:
+        serial, pipelined = run_pipeline_cell(
+            algorithm,
+            ds,
+            device=device,
+            train_device=train_device,
+            epochs=2,
+            batch_size=256,
+            max_batches=MAX_BATCHES,
+        )
+        assert serial.final_loss == pipelined.final_loss
+        assert serial.accuracy_history == pipelined.accuracy_history
+        assert pipelined.total_seconds <= serial.total_seconds
+        reduction = 1.0 - pipelined.total_seconds / serial.total_seconds
+        if algorithm == "graphsage" and label == "v100":
+            # The acceptance cell: overlap must hide >= 20% of the epoch.
+            assert reduction >= 0.20
+        cache = pipelined.cache_stats
+        rows.append(
+            [
+                label,
+                f"{serial.total_seconds * 1e3:.3f}",
+                f"{pipelined.total_seconds * 1e3:.3f}",
+                f"{reduction:.1%}",
+                f"{cache.hit_rate:.1%}" if cache is not None else "off",
+                f"{pipelined.final_accuracy:.4f}",
+            ]
+        )
+    report(
+        f"pipeline_{algorithm}",
+        format_table(
+            [
+                "Devices",
+                "Serial (ms)",
+                "Pipelined (ms)",
+                "Reduction",
+                "Cache hits",
+                "Accuracy",
+            ],
+            rows,
+            title=(
+                f"Pipelined epochs — {algorithm} on PD "
+                f"(2 epochs x {MAX_BATCHES} batches, prefetch depth 2, "
+                "cache ratio 0.10; accuracy identical to serial by "
+                "construction)"
+            ),
+        ),
+    )

@@ -1,0 +1,17 @@
+"""GPU feature cache: hot-node feature rows served from device memory.
+
+FastGL-style observation (see PAPERS.md): mini-batch GNN training moves
+far more bytes gathering features than sampling structure, and feature
+accesses are as skewed as the graph's degree distribution — caching the
+hottest nodes' rows on device removes most of the PCIe traffic.  This
+package provides the degree-ordered static cache the pipelined epoch
+executor (:mod:`repro.pipeline`) charges feature gathers through.
+"""
+
+from repro.cache.feature_cache import (
+    DEFAULT_CACHE_RATIO,
+    CacheStats,
+    FeatureCache,
+)
+
+__all__ = ["DEFAULT_CACHE_RATIO", "CacheStats", "FeatureCache"]

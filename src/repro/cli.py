@@ -111,6 +111,32 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit 3 when the comparator flags a regression",
     )
+    profile.add_argument(
+        "--pipeline",
+        action="store_true",
+        help="profile a pipelined training epoch (sample/transfer/compute "
+        "on overlapping queues) against the serial trainer",
+    )
+    profile.add_argument(
+        "--cache-ratio",
+        type=float,
+        default=None,
+        help="fraction of nodes whose feature rows are pinned on device "
+        "(pipeline mode; default 0.10, 0 disables the cache)",
+    )
+    profile.add_argument(
+        "--prefetch-depth",
+        type=int,
+        default=None,
+        help="batches the sampler may run ahead of compute "
+        "(pipeline mode; default 2)",
+    )
+    profile.add_argument(
+        "--epochs",
+        type=int,
+        default=1,
+        help="training epochs to simulate (pipeline mode)",
+    )
 
     sub.add_parser("datasets", help="list catalog datasets")
     sub.add_parser("algorithms", help="list the 15 implemented algorithms")
@@ -244,8 +270,155 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if all_passed else 1
 
 
+def _cmd_profile_pipeline(args: argparse.Namespace) -> int:
+    """The ``profile --pipeline`` branch: serial vs pipelined epochs."""
+    import pathlib
+
+    from repro.cache import DEFAULT_CACHE_RATIO
+    from repro.datasets import load_dataset
+    from repro.device import get_device
+    from repro.pipeline import DEFAULT_PREFETCH_DEPTH, run_pipeline_cell
+    from repro.profile import (
+        Profiler,
+        append_record,
+        bench_path,
+        compare_metrics,
+        write_chrome_trace,
+    )
+
+    cache_ratio = (
+        args.cache_ratio if args.cache_ratio is not None else DEFAULT_CACHE_RATIO
+    )
+    prefetch_depth = (
+        args.prefetch_depth
+        if args.prefetch_depth is not None
+        else DEFAULT_PREFETCH_DEPTH
+    )
+    dataset = load_dataset(args.dataset, scale=args.scale)
+    device = get_device(args.device)
+    profiler = Profiler()
+    with profiler.activate():
+        serial, pipelined = run_pipeline_cell(
+            args.algorithm,
+            dataset,
+            device=device,
+            epochs=args.epochs,
+            batch_size=args.batch_size,
+            max_batches=args.max_batches,
+            prefetch_depth=prefetch_depth,
+            cache_ratio=cache_ratio,
+            profiler=profiler,
+        )
+
+    reduction = (
+        1.0 - pipelined.total_seconds / serial.total_seconds
+        if serial.total_seconds
+        else 0.0
+    )
+    rows = [
+        ["serial epoch time (simulated ms)", f"{serial.total_seconds * 1e3:.4f}"],
+        ["pipelined epoch time (simulated ms)",
+         f"{pipelined.total_seconds * 1e3:.4f}"],
+        ["reduction", f"{reduction:.1%}"],
+        ["prefetch depth", prefetch_depth],
+        ["loss parity",
+         "bit-identical" if serial.final_loss == pipelined.final_loss
+         else "DIVERGED"],
+    ]
+    cache = pipelined.cache_stats
+    if cache is not None:
+        rows += [
+            ["cache ratio", f"{cache_ratio:.2f}"],
+            ["cached rows", f"{cache.cached_rows} "
+             f"({cache.cached_bytes // 1024} KiB)"],
+            ["cache hit rate", f"{cache.hit_rate:.1%}"],
+        ]
+    print(
+        format_table(
+            ["Metric", "Value"],
+            rows,
+            title=(
+                f"Pipelined epochs — {args.algorithm} on {args.dataset} "
+                f"({args.device}), {args.epochs} epoch(s)"
+            ),
+        )
+    )
+    print(
+        format_table(
+            ["Queue", "Device", "Busy (ms)", "End (ms)", "Launches", "Util"],
+            [
+                [
+                    r.queue,
+                    r.device,
+                    f"{r.busy_seconds * 1e3:.4f}",
+                    f"{r.end_seconds * 1e3:.4f}",
+                    r.launches,
+                    f"{r.utilization:.0%}",
+                ]
+                for r in pipelined.queue_reports
+            ],
+            title="Queue timelines",
+        )
+    )
+
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    tag = f"pipeline_{args.algorithm}_{args.dataset}_{args.device}"
+    trace_path = (
+        pathlib.Path(args.trace_out)
+        if args.trace_out
+        else out_dir / f"trace_{tag}.json"
+    )
+    write_chrome_trace(profiler, trace_path)
+    print(f"\nchrome trace: {trace_path} ({len(profiler.spans)} spans)")
+
+    metrics = {
+        "sim_seconds": pipelined.total_seconds,
+        "serial_sim_seconds": serial.total_seconds,
+        "overlap_reduction": reduction,
+        "launches": sum(r.launches for r in pipelined.queue_reports),
+        "cache_hit_rate": cache.hit_rate if cache is not None else 0.0,
+        "final_loss": pipelined.final_loss,
+    }
+    meta = {
+        "algorithm": args.algorithm,
+        "dataset": args.dataset,
+        "device": args.device,
+        "batch_size": args.batch_size,
+        "scale": args.scale,
+        "max_batches": args.max_batches,
+        "epochs": args.epochs,
+        "prefetch_depth": prefetch_depth,
+        "cache_ratio": cache_ratio,
+    }
+    record_path = bench_path(out_dir, tag)
+    record, previous = append_record(
+        record_path, tag=tag, meta=meta, metrics=metrics
+    )
+    print(f"trajectory: {record_path} (run {record['run']})")
+    if previous is None:
+        print("no previous record; comparator skipped")
+        return 0
+    regressions = compare_metrics(
+        previous["metrics"], record["metrics"], threshold=args.threshold
+    )
+    if not regressions:
+        print(
+            f"no regressions vs run {previous['run']} "
+            f"(threshold {args.threshold:.0%})"
+        )
+        return 0
+    print(f"REGRESSIONS vs run {previous['run']}:")
+    for regression in regressions:
+        print(f"  {regression.describe()}")
+    return 3 if args.fail_on_regression else 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     import pathlib
+
+    if args.pipeline:
+        return _cmd_profile_pipeline(args)
 
     from repro.ir.passes.base import PassStat
     from repro.profile import (

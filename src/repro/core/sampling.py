@@ -142,7 +142,9 @@ def fused_extract_individual_sample(
         ),
     )
     # Fused accounting: indptr lookups + sampled output only. The bias
-    # scan (when biased) still reads the candidate edges once.
+    # scan (when biased) still reads the candidate edges once, and pays
+    # the same 2 flops/edge (key generation + race compare) the unfused
+    # individual_sample charges — fusion saves memory, not arithmetic.
     read = len(frontiers) * 2 * _ITEM + (
         int(lengths.sum()) * _VAL if bias is not None else 0
     )
@@ -151,7 +153,7 @@ def fused_extract_individual_sample(
         "fused_extract_individual_sample",
         bytes_read=graph_read,
         bytes_written=out.nbytes(),
-        flops=float(lengths.sum()),
+        flops=float(lengths.sum()) * (2.0 if bias is not None else 1.0),
         tasks=max(int(lengths.sum()), 1),  # edge-parallel
         graph_bytes=graph_read,
     )
@@ -242,20 +244,52 @@ def collective_sample(
                 f"node_probs shape {node_probs.shape} != rows ({csc.shape[0]},)"
             )
     if replace:
-        selected = np.unique(
-            rnd.weighted_choice_with_replacement(node_probs, k, rng)
-        )
+        selected, rounds = _distinct_rows_with_replacement(node_probs, k, rng)
     else:
         selected = np.sort(rnd.weighted_choice_without_replacement(node_probs, k, rng))
+        rounds = 1
     sub = _restrict_rows_csc(csc, selected)
     ctx.record(
         "collective_sample",
-        bytes_read=node_probs.nbytes + csc.nnz * (_ITEM + _VAL),
+        bytes_read=node_probs.nbytes
+        + csc.nnz * (_ITEM + (_VAL if csc.values is not None else 0)),
         bytes_written=sub.nbytes() + selected.nbytes,
-        flops=csc.shape[0] + csc.nnz,
+        flops=csc.shape[0] * rounds + csc.nnz,
         tasks=max(csc.nnz, 1),
     )
     return CollectiveResult(matrix=sub, selected_rows=selected)
+
+
+def _distinct_rows_with_replacement(
+    node_probs: np.ndarray, k: int, rng: np.random.Generator
+) -> tuple[np.ndarray, int]:
+    """With-replacement draws repeated until ``k`` distinct rows land.
+
+    A single batch of ``k`` draws deduplicated would silently shrink the
+    layer below ``k``; redrawing until ``k`` distinct rows accumulate
+    keeps the layer width while staying a with-replacement process.  The
+    distinct-row sequence this produces is distributed exactly as
+    successive weighted draws without replacement (Efraimidis–Spirakis),
+    so the replace=True layer matches the race-select path the
+    super-batch kernel always uses.  Returns the sorted distinct rows
+    and the number of draw rounds (for cost accounting).
+    """
+    avail = int(np.count_nonzero(node_probs > 0))
+    target = min(k, avail)
+    chosen = np.zeros(len(node_probs), dtype=bool)
+    count = 0
+    rounds = 0
+    while count < target:
+        rounds += 1
+        draws = rnd.weighted_choice_with_replacement(node_probs, k, rng)
+        fresh = draws[~chosen[draws]]
+        # First occurrence per row, in draw order, capped at the deficit
+        # — extra distinct rows in the same round must not slip in.
+        _, first = np.unique(fresh, return_index=True)
+        fresh = fresh[np.sort(first)][: target - count]
+        chosen[fresh] = True
+        count += len(fresh)
+    return np.flatnonzero(chosen).astype(INDEX_DTYPE), max(rounds, 1)
 
 
 def _restrict_rows_csc(csc: CSC, keep_rows: np.ndarray) -> CSC:
@@ -392,7 +426,6 @@ def uniform_walk_step(
     if bias_edge_values is None:
         seg_ids, offsets = rnd.segmented_uniform_with_replacement(lengths, 1, rng)
         nxt[seg_ids] = graph_csc.rows[starts[seg_ids] + offsets]
-        bias_bytes = 0
     else:
         flat = gather_ranges(starts, lengths)
         sub_indptr = np.zeros(len(frontiers) + 1, dtype=INDEX_DTYPE)
@@ -402,8 +435,13 @@ def uniform_walk_step(
         )
         seg = _segments_of(picks, sub_indptr)
         nxt[seg] = graph_csc.rows[flat[picks]]
-        bias_bytes = int(lengths.sum()) * _VAL
-    read = len(frontiers) * 2 * _ITEM + len(frontiers) * _ITEM + bias_bytes
+    # Uniform picks read indptr plus the one chosen row per frontier;
+    # the biased inverse-CDF scan reads every candidate edge's row id
+    # and weight before picking, and must be charged for all of them.
+    if bias_edge_values is None:
+        read = len(frontiers) * 2 * _ITEM + len(frontiers) * _ITEM
+    else:
+        read = len(frontiers) * 2 * _ITEM + int(lengths.sum()) * (_ITEM + _VAL)
     ctx.record(
         "walk_step",
         bytes_read=read,

@@ -8,7 +8,13 @@ statistics that the benchmarks report in place of the paper's V100/T4
 measurements.
 """
 
-from repro.device.context import NULL_CONTEXT, ExecutionContext, KernelLaunch, NullContext
+from repro.device.context import (
+    NULL_CONTEXT,
+    ExecutionContext,
+    KernelLaunch,
+    NullContext,
+    QueueTimeline,
+)
 from repro.device.memory import Allocation, MemoryPool
 from repro.device.spec import CPU, GB, T4, V100, DeviceSpec, get_device
 
@@ -24,5 +30,6 @@ __all__ = [
     "KernelLaunch",
     "MemoryPool",
     "NullContext",
+    "QueueTimeline",
     "get_device",
 ]

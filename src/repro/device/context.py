@@ -14,6 +14,7 @@ frontier vs one per layer), never in how a launch is priced.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 from collections import defaultdict
 from typing import TYPE_CHECKING
@@ -27,7 +28,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 @dataclasses.dataclass(frozen=True)
 class KernelLaunch:
-    """One recorded kernel launch and its simulated cost."""
+    """One recorded kernel launch and its simulated cost.
+
+    ``queue`` names the simulated device queue the launch ran on
+    (``"default"`` for the classic serial timeline); ``sim_start`` and
+    ``sim_end`` place it on that queue's timeline, so overlapping queues
+    can be reconstructed from the flat ledger.
+    """
 
     name: str
     bytes_read: float
@@ -37,6 +44,33 @@ class KernelLaunch:
     divergence: float
     uva_bytes: float
     seconds: float
+    queue: str = "default"
+    sim_start: float = 0.0
+    sim_end: float = 0.0
+
+
+@dataclasses.dataclass
+class QueueTimeline:
+    """One simulated device queue (the CUDA-stream analogue).
+
+    Launches issued to the same queue serialize: each starts at the
+    queue's ``ready`` time and pushes it forward.  Distinct queues
+    overlap freely; cross-queue ordering is expressed by syncing a
+    queue to an event time (:meth:`sync_to`), the simulator's
+    ``cudaStreamWaitEvent``.  ``busy_seconds`` accumulates occupied
+    time only, so ``ready - busy_seconds`` is the queue's idle gap —
+    the quantity pipeline overlap is trying to drive to zero.
+    """
+
+    name: str
+    ready: float = 0.0
+    busy_seconds: float = 0.0
+    launches: int = 0
+
+    def sync_to(self, event_time: float) -> None:
+        """Block the queue until ``event_time`` (no-op if already past)."""
+        if event_time > self.ready:
+            self.ready = event_time
 
 
 class ExecutionContext:
@@ -81,6 +115,47 @@ class ExecutionContext:
         self.cost_scale = cost_scale
         self.launches: list[KernelLaunch] = []
         self.elapsed = 0.0
+        #: Occupied simulated seconds (sum of launch costs). Equals
+        #: ``elapsed`` on the serial path; with multi-queue records,
+        #: ``elapsed`` is the timeline end (makespan) while this stays
+        #: the total work, so ``busy_seconds / elapsed`` measures
+        #: overlap efficiency.
+        self.busy_seconds = 0.0
+        #: Named device queues, created lazily by :meth:`queue`.
+        self.queues: dict[str, QueueTimeline] = {}
+        self._active_queue: QueueTimeline | None = None
+
+    # ------------------------------------------------------------------
+    # Queue management
+    # ------------------------------------------------------------------
+    def queue(self, name: str) -> QueueTimeline:
+        """The named queue, created at the current timeline start (0)."""
+        timeline = self.queues.get(name)
+        if timeline is None:
+            timeline = QueueTimeline(name=name)
+            self.queues[name] = timeline
+        return timeline
+
+    @contextlib.contextmanager
+    def on_queue(self, name: str, *, not_before: float = 0.0):
+        """Route every :meth:`record` inside the block onto queue ``name``.
+
+        ``not_before`` is an event time the queue must wait for before
+        the block's first launch (a cross-queue dependency, e.g. "this
+        batch's feature transfer starts once its sampling finished").
+        Launches inside the block serialize on the queue; the context's
+        ``elapsed`` becomes the max over all queue end times, which is
+        what makes overlapping queue timelines sum to a makespan rather
+        than a total.
+        """
+        timeline = self.queue(name)
+        timeline.sync_to(not_before)
+        previous = self._active_queue
+        self._active_queue = timeline
+        try:
+            yield timeline
+        finally:
+            self._active_queue = previous
 
     def record(
         self,
@@ -113,6 +188,25 @@ class ExecutionContext:
             divergence=divergence,
             uva_bytes=uva_bytes,
         )
+        timeline = self._active_queue
+        if timeline is None:
+            # Serial path: one implicit in-order queue; elapsed is both
+            # the timeline end and the total work.
+            start = self.elapsed
+            end = start + seconds
+            self.elapsed = end
+            queue_name = "default"
+        else:
+            start = timeline.ready
+            end = start + seconds
+            timeline.ready = end
+            timeline.busy_seconds += seconds
+            timeline.launches += 1
+            # Overlapping queues: the context clock is the makespan.
+            if end > self.elapsed:
+                self.elapsed = end
+            queue_name = timeline.name
+        self.busy_seconds += seconds
         launch = KernelLaunch(
             name=name,
             bytes_read=bytes_read,
@@ -122,9 +216,11 @@ class ExecutionContext:
             divergence=divergence,
             uva_bytes=uva_bytes,
             seconds=seconds,
+            queue=queue_name,
+            sim_start=start,
+            sim_end=end,
         )
         self.launches.append(launch)
-        self.elapsed += seconds
         profiler = self.profiler
         if profiler is not None:
             profiler.on_kernel(launch)
@@ -141,6 +237,8 @@ class ExecutionContext:
         """
         self.launches.clear()
         self.elapsed = 0.0
+        self.busy_seconds = 0.0
+        self.queues.clear()
         if include_peak:
             self.memory.reset_peak()
 
@@ -156,6 +254,21 @@ class ExecutionContext:
 
     def launch_count(self) -> int:
         return len(self.launches)
+
+    def queue_stats(self) -> dict[str, QueueTimeline]:
+        """Snapshot of every named queue's timeline (serial runs: empty)."""
+        return dict(self.queues)
+
+    def overlap_efficiency(self) -> float:
+        """Occupied fraction of the timeline: ``busy / elapsed``.
+
+        1.0 means perfectly packed (serial runs by construction);
+        values above 1.0 mean queues genuinely overlapped — the epoch
+        did more seconds of work than wall-clock passed.
+        """
+        if self.elapsed <= 0.0:
+            return 0.0
+        return self.busy_seconds / self.elapsed
 
     def total_bytes(self) -> float:
         return sum(l.bytes_read + l.bytes_written for l in self.launches)

@@ -177,7 +177,8 @@ def sb_collective_sample(
     sub = _restrict_rows_csc(csc, selected)
     ctx.record(
         "sb_collective_sample",
-        bytes_read=node_probs.nbytes + csc.nnz * (_ITEM + _VAL),
+        bytes_read=node_probs.nbytes
+        + csc.nnz * (_ITEM + (_VAL if csc.values is not None else 0)),
         bytes_written=sub.nbytes() + selected.nbytes,
         flops=total_rows + csc.nnz,
         tasks=max(csc.nnz, 1),

@@ -1,0 +1,329 @@
+"""The pipelined epoch executor and its serial-vs-pipelined harness.
+
+:class:`PipelinedTrainer` schedules every training epoch across three
+simulated device queues:
+
+* ``sample``   — the sampling pipeline's kernels (on the sampling device);
+* ``transfer`` — per-batch feature gathers, PCIe-bound for host-resident
+  features, with a :class:`~repro.cache.FeatureCache` short-circuiting
+  hot rows to device memory;
+* ``compute``  — the model's forward/backward launches.
+
+Dependencies mirror a real prefetching loop: batch ``i``'s transfer
+waits on its sampling, its compute waits on its transfer, queues
+serialize internally, and sampling runs at most ``prefetch_depth``
+batches ahead of compute (the staging-buffer bound).  Because the
+schedule only moves *accounting* onto queue timelines — the Python
+execution order is the serial one — sampled matrices, losses, and
+trained weights are bit-identical to :class:`~repro.learning.Trainer`;
+only the simulated clock changes, from the sum of stage times to the
+makespan of their overlap.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+
+import numpy as np
+
+from repro.algorithms.base import Pipeline
+from repro.cache import DEFAULT_CACHE_RATIO, CacheStats, FeatureCache
+from repro.core import minibatches
+from repro.datasets import Dataset
+from repro.device import DeviceSpec, ExecutionContext
+from repro.errors import ShapeError
+from repro.learning.models import SampledGNN
+from repro.learning.trainer import Trainer, TrainResult
+from repro.profile.spans import Profiler
+
+#: How many batches the sampler may run ahead of the trainer; 2 is the
+#: classic double-buffering depth (one batch in flight per stage).
+DEFAULT_PREFETCH_DEPTH = 2
+
+
+@dataclasses.dataclass(frozen=True)
+class QueueReport:
+    """One queue's timeline summary for an epoch run."""
+
+    queue: str
+    device: str
+    busy_seconds: float
+    end_seconds: float
+    launches: int
+
+    @property
+    def utilization(self) -> float:
+        """Occupied fraction of the full makespan this queue ran under."""
+        return self.busy_seconds / self.end_seconds if self.end_seconds else 0.0
+
+
+@dataclasses.dataclass
+class PipelinedTrainResult(TrainResult):
+    """A :class:`TrainResult` whose clock is the queue-overlap makespan.
+
+    ``total_seconds`` is the max over queue end times;
+    ``sampling_seconds``/``training_seconds`` are the busy (occupied)
+    seconds of the sampling context and training context respectively,
+    so they can sum to more than ``total_seconds`` — that surplus *is*
+    the overlap win.
+    """
+
+    prefetch_depth: int = DEFAULT_PREFETCH_DEPTH
+    queue_reports: list[QueueReport] = dataclasses.field(default_factory=list)
+    cache_stats: CacheStats | None = None
+
+    @property
+    def serialized_seconds(self) -> float:
+        """What the same work would cost with no overlap at all."""
+        return sum(r.busy_seconds for r in self.queue_reports)
+
+    @property
+    def overlap_reduction(self) -> float:
+        """Fractional time saved vs running the queues back-to-back."""
+        serial = self.serialized_seconds
+        if serial <= 0.0:
+            return 0.0
+        return 1.0 - self.total_seconds / serial
+
+
+class PipelinedTrainer(Trainer):
+    """Mini-batch trainer that overlaps sampling, transfer, and compute.
+
+    Accepts everything :class:`~repro.learning.Trainer` does, plus:
+
+    prefetch_depth:
+        Staging-buffer bound: sampling of batch ``i`` may not start
+        before compute of batch ``i - prefetch_depth`` finished.  Must
+        be at least 1; 2 (the default) gives classic double buffering.
+    cache_ratio:
+        Fraction of nodes whose feature rows are pinned on the training
+        device (degree-ordered; see :class:`~repro.cache.FeatureCache`).
+        ``0.0`` disables caching.  The pinned bytes are charged to the
+        training context's memory pool, so an over-large ratio is
+        evicted down (or refused) against that pool's capacity.
+    """
+
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        model: SampledGNN,
+        dataset: Dataset,
+        *,
+        device: DeviceSpec,
+        train_device: DeviceSpec | None = None,
+        batch_size: int = 1024,
+        lr: float = 0.05,
+        seed: int = 0,
+        prefetch_depth: int = DEFAULT_PREFETCH_DEPTH,
+        cache_ratio: float = DEFAULT_CACHE_RATIO,
+    ) -> None:
+        if prefetch_depth < 1:
+            raise ShapeError(
+                f"prefetch depth must be at least 1, got {prefetch_depth}"
+            )
+        super().__init__(
+            pipeline,
+            model,
+            dataset,
+            device=device,
+            train_device=train_device,
+            batch_size=batch_size,
+            lr=lr,
+            seed=seed,
+        )
+        self.prefetch_depth = prefetch_depth
+        self.cache_ratio = cache_ratio
+
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        epochs: int,
+        *,
+        max_batches_per_epoch: int | None = None,
+        profiler: Profiler | None = None,
+    ) -> PipelinedTrainResult:
+        sample_ctx = ExecutionContext(
+            self.device, graph_on_device=self.dataset.graph_on_device
+        )
+        train_ctx = ExecutionContext(
+            self.train_device, graph_on_device=self.dataset.graph_on_device
+        )
+        if profiler is not None:
+            profiler.attach(sample_ctx)
+            train_ctx.profiler = profiler
+        cache: FeatureCache | None = None
+        if self.cache_ratio > 0.0:
+            cache = FeatureCache.from_dataset(
+                self.dataset, ratio=self.cache_ratio, pool=train_ctx.memory
+            )
+
+        def span(name: str, category: str, **attrs: object):
+            if profiler is None:
+                return contextlib.nullcontext()
+            return profiler.span(name, category, **attrs)
+
+        acc_history: list[float] = []
+        last_loss = float("nan")
+        # Completion time of each batch's compute, indexed per epoch; the
+        # prefetch window looks back ``prefetch_depth`` entries.
+        for epoch in range(epochs):
+            batches = minibatches(
+                self.dataset.train_ids, self.batch_size, shuffle=True, rng=self.rng
+            )
+            if max_batches_per_epoch is not None:
+                batches = batches[:max_batches_per_epoch]
+            epoch_acc: list[float] = []
+            compute_done: list[float] = []
+            with span("epoch", "epoch", index=epoch, pipelined=True):
+                for i, batch in enumerate(batches):
+                    # Staging-buffer bound: the sampler may run at most
+                    # prefetch_depth batches ahead of the trainer.
+                    slot_free = (
+                        compute_done[i - self.prefetch_depth]
+                        if i >= self.prefetch_depth
+                        else 0.0
+                    )
+                    with span(f"batch[{i}]", "batch", size=len(batch)):
+                        with sample_ctx.on_queue("sample", not_before=slot_free):
+                            sample = self.pipeline.sample_batch(
+                                batch, ctx=sample_ctx, rng=self.rng
+                            )
+                        sampled_at = sample_ctx.queue("sample").ready
+                        with train_ctx.on_queue(
+                            "transfer", not_before=sampled_at
+                        ):
+                            self._gather_features(sample, train_ctx, cache)
+                        transferred_at = train_ctx.queue("transfer").ready
+                        with train_ctx.on_queue(
+                            "compute", not_before=transferred_at
+                        ):
+                            loss, acc = self._compute_batch(sample, train_ctx)
+                        compute_done.append(train_ctx.queue("compute").ready)
+                    last_loss = loss
+                    epoch_acc.append(acc)
+                if cache is not None:
+                    stats = cache.epoch_stats()
+                    with span(
+                        f"cache[{epoch}]",
+                        "cache",
+                        hits=stats.hits,
+                        misses=stats.misses,
+                        hit_rate=round(stats.hit_rate, 4),
+                        cached_rows=stats.cached_rows,
+                    ):
+                        pass
+            acc_history.append(float(np.mean(epoch_acc)) if epoch_acc else 0.0)
+
+        reports = [
+            QueueReport(
+                queue=q.name,
+                device=ctx.device.name,
+                busy_seconds=q.busy_seconds,
+                end_seconds=q.ready,
+                launches=q.launches,
+            )
+            for ctx in (sample_ctx, train_ctx)
+            for q in ctx.queue_stats().values()
+        ]
+        return PipelinedTrainResult(
+            epochs=epochs,
+            final_accuracy=acc_history[-1] if acc_history else 0.0,
+            final_loss=last_loss,
+            total_seconds=max(sample_ctx.elapsed, train_ctx.elapsed),
+            sampling_seconds=sample_ctx.busy_seconds,
+            training_seconds=train_ctx.busy_seconds,
+            accuracy_history=acc_history,
+            prefetch_depth=self.prefetch_depth,
+            queue_reports=reports,
+            cache_stats=cache.epoch_stats() if cache is not None else None,
+        )
+
+
+# ----------------------------------------------------------------------
+# Serial-vs-pipelined comparison cell (CLI + benchmarks)
+# ----------------------------------------------------------------------
+
+#: Trainable algorithm configurations the comparison cell understands
+#: (the two Table-8 workloads).
+TRAINABLE_CONFIGS: dict[str, tuple[str, dict, dict, int]] = {
+    "graphsage": ("GraphSAGEModel", dict(fanouts=(5, 10)), {}, 2),
+    "ladies": ("LadiesGCN", dict(layer_width=256, num_layers=2), {}, 2),
+}
+
+
+def _build_model(algorithm: str, dataset: Dataset, seed: int) -> SampledGNN:
+    from repro.learning import GraphSAGEModel, LadiesGCN
+
+    model_name, _, _, num_layers = TRAINABLE_CONFIGS[algorithm]
+    model_cls = {"GraphSAGEModel": GraphSAGEModel, "LadiesGCN": LadiesGCN}[
+        model_name
+    ]
+    return model_cls(
+        dataset.features.shape[1],
+        32,
+        dataset.num_classes,
+        num_layers=num_layers,
+        rng=np.random.default_rng(seed),
+    )
+
+
+def run_pipeline_cell(
+    algorithm: str,
+    dataset: Dataset,
+    *,
+    device: DeviceSpec,
+    train_device: DeviceSpec | None = None,
+    epochs: int = 1,
+    batch_size: int = 256,
+    max_batches: int | None = 8,
+    prefetch_depth: int = DEFAULT_PREFETCH_DEPTH,
+    cache_ratio: float = DEFAULT_CACHE_RATIO,
+    seed: int = 0,
+    profiler: Profiler | None = None,
+) -> tuple[TrainResult, PipelinedTrainResult]:
+    """Train one cell twice — serial then pipelined — under equal seeds.
+
+    Both runs construct their own identically-seeded model and RNG
+    stream, so sampled batches and losses must match bit-for-bit; the
+    only difference is the clock.  Returns ``(serial, pipelined)``.
+    """
+    from repro.algorithms import make_algorithm
+
+    if algorithm not in TRAINABLE_CONFIGS:
+        raise ShapeError(
+            f"no trainable pipeline config for {algorithm!r}; "
+            f"available: {sorted(TRAINABLE_CONFIGS)}"
+        )
+    _, algo_kwargs, _, _ = TRAINABLE_CONFIGS[algorithm]
+    algo = make_algorithm(algorithm, **algo_kwargs)
+    example = dataset.train_ids[:batch_size]
+
+    serial_trainer = Trainer(
+        algo.build(dataset.graph, example),
+        _build_model(algorithm, dataset, seed),
+        dataset,
+        device=device,
+        train_device=train_device,
+        batch_size=batch_size,
+        seed=seed,
+    )
+    serial = serial_trainer.train(
+        epochs, max_batches_per_epoch=max_batches
+    )
+
+    pipelined_trainer = PipelinedTrainer(
+        algo.build(dataset.graph, example),
+        _build_model(algorithm, dataset, seed),
+        dataset,
+        device=device,
+        train_device=train_device,
+        batch_size=batch_size,
+        seed=seed,
+        prefetch_depth=prefetch_depth,
+        cache_ratio=cache_ratio,
+    )
+    pipelined = pipelined_trainer.train(
+        epochs, max_batches_per_epoch=max_batches, profiler=profiler
+    )
+    return serial, pipelined

@@ -34,7 +34,7 @@ DEVICE_PID = 2
 
 
 def _event(
-    span: Span, *, pid: int, start: float, duration: float
+    span: Span, *, pid: int, start: float, duration: float, tid: int = 1
 ) -> dict[str, object]:
     return {
         "name": span.name,
@@ -43,7 +43,7 @@ def _event(
         "ts": round(start * _US, 3),
         "dur": round(max(0.0, duration) * _US, 3),
         "pid": pid,
-        "tid": 1,
+        "tid": tid,
         "args": {k: v for k, v in span.attrs.items()},
     }
 
@@ -64,6 +64,25 @@ def to_chrome_trace(profiler: Profiler) -> dict[str, object]:
             "args": {"name": "device (simulated)"},
         },
     ]
+    # Device queues map to threads of the simulated-device process, so
+    # overlapping queue timelines render as parallel tracks (exactly how
+    # Chrome shows real CUDA streams).  The serial/implicit queue is
+    # tid 1; named queues get stable tids in order of first appearance.
+    queue_tids: dict[str, int] = {"default": 1}
+    for span in profiler.spans:
+        queue = span.attrs.get("queue")
+        if isinstance(queue, str) and queue not in queue_tids:
+            tid = len(queue_tids) + 1
+            queue_tids[queue] = tid
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": DEVICE_PID,
+                    "tid": tid,
+                    "args": {"name": f"queue:{queue}"},
+                }
+            )
     for span in profiler.spans:
         events.append(
             _event(
@@ -74,12 +93,15 @@ def to_chrome_trace(profiler: Profiler) -> dict[str, object]:
             )
         )
         if span.sim_duration > 0.0 or span.category == "kernel":
+            queue = span.attrs.get("queue")
+            tid = queue_tids.get(queue, 1) if isinstance(queue, str) else 1
             events.append(
                 _event(
                     span,
                     pid=DEVICE_PID,
                     start=span.sim_start,
                     duration=span.sim_duration,
+                    tid=tid,
                 )
             )
     return {"traceEvents": events, "displayTimeUnit": "ms"}

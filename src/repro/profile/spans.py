@@ -155,11 +155,13 @@ class Profiler:
         """Record one kernel launch as a leaf span under the open span.
 
         Called by :meth:`ExecutionContext.record` after the launch has
-        been priced and appended to the ledger, so the simulated interval
-        is ``[elapsed - seconds, elapsed]``.
+        been priced and placed on its queue timeline; the simulated
+        interval is the launch's own ``[sim_start, sim_end]``, which on
+        the serial path equals ``[elapsed - seconds, elapsed]`` and on
+        a named queue reflects that queue's (possibly overlapping)
+        timeline.
         """
         now = self.host_now()
-        sim_end = self.sim_now()
         parent = self._stack[-1] if self._stack else -1
         self.spans.append(
             Span(
@@ -170,14 +172,15 @@ class Profiler:
                 depth=len(self._stack),
                 host_start=now,
                 host_end=now,
-                sim_start=sim_end - launch.seconds,
-                sim_end=sim_end,
+                sim_start=launch.sim_start,
+                sim_end=launch.sim_end,
                 attrs={
                     "bytes_read": launch.bytes_read,
                     "bytes_written": launch.bytes_written,
                     "flops": launch.flops,
                     "tasks": launch.tasks,
                     "uva_bytes": launch.uva_bytes,
+                    "queue": launch.queue,
                 },
             )
         )

@@ -132,10 +132,25 @@ class CompiledSampler:
         tensors: dict[str, np.ndarray] | None = None,
         ctx: ExecutionContext = NULL_CONTEXT,
         rng: np.random.Generator | None = None,
+        queue: str | None = None,
+        not_before: float = 0.0,
     ) -> object:
-        """Execute one mini-batch; returns values shaped like the trace."""
+        """Execute one mini-batch; returns values shaped like the trace.
+
+        ``queue`` routes every launch of this batch onto the named
+        simulated queue (see :meth:`ExecutionContext.on_queue`), with
+        ``not_before`` as the dependency edge — the hook the pipelined
+        executor uses to overlap sampling with transfer and compute.
+        """
         rng = rng if rng is not None else new_rng(None)
-        with _span("sampler.run", "exec", batch_size=int(np.size(frontiers))):
+        routed = (
+            ctx.on_queue(queue, not_before=not_before)
+            if queue is not None
+            else contextlib.nullcontext()
+        )
+        with routed, _span(
+            "sampler.run", "exec", batch_size=int(np.size(frontiers))
+        ):
             interp = Interpreter(self.ir, ctx, precomputed=self.precomputed)
             inputs: dict[str, object] = {
                 "A": self.graph,
@@ -167,12 +182,16 @@ class CompiledSampler:
         tensors: dict[str, np.ndarray] | None = None,
         ctx: ExecutionContext = NULL_CONTEXT,
         rng: np.random.Generator | None = None,
+        queue: str | None = None,
+        not_before: float = 0.0,
     ) -> list[tuple[Matrix, np.ndarray]]:
         """Sample several independent mini-batches in one launch sequence.
 
         The compiled program must follow the standard one-layer contract
         ``(sample_matrix, next_frontiers)``; each batch's results are
-        split back out and returned in order.
+        split back out and returned in order.  ``queue``/``not_before``
+        route the whole super-batch onto a simulated queue, as in
+        :meth:`run`.
         """
         if self.structure != ("leaf", "leaf"):
             raise TraceError(
@@ -180,7 +199,12 @@ class CompiledSampler:
                 "one-layer contract"
             )
         rng = rng if rng is not None else new_rng(None)
-        with _span(
+        routed = (
+            ctx.on_queue(queue, not_before=not_before)
+            if queue is not None
+            else contextlib.nullcontext()
+        )
+        with routed, _span(
             "sampler.superbatch", "exec", num_batches=len(frontier_batches)
         ):
             concat = np.concatenate([np.asarray(b) for b in frontier_batches])

@@ -1,0 +1,296 @@
+"""Pipelined epoch executor: queue semantics, feature cache, parity.
+
+Covers the three contracts the pipelined path must keep:
+
+* queue timelines overlap correctly (makespan, dependencies, and the
+  untouched serial path);
+* the degree-ordered feature cache obeys the memory budget and its hit
+  rate grows with the cache ratio;
+* serial and pipelined training are bit-identical in everything except
+  the simulated clock.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache import FeatureCache
+from repro.core import new_rng
+from repro.datasets import load_dataset
+from repro.device import CPU, ExecutionContext, MemoryPool, V100
+from repro.errors import ShapeError
+from repro.learning import GraphSAGEModel
+from repro.learning.trainer import Trainer
+from repro.pipeline import PipelinedTrainer, run_pipeline_cell
+
+
+# ----------------------------------------------------------------------
+# Multi-queue ExecutionContext semantics
+# ----------------------------------------------------------------------
+class TestQueueSemantics:
+    def test_serial_path_sums_as_before(self):
+        ctx = ExecutionContext(V100)
+        ctx.record("a", flops=1e9)
+        first = ctx.elapsed
+        ctx.record("b", flops=1e9)
+        assert ctx.elapsed == pytest.approx(2 * first)
+        assert all(l.queue == "default" for l in ctx.launches)
+        assert ctx.launches[1].sim_start == pytest.approx(first)
+
+    def test_two_queues_overlap_to_makespan(self):
+        ctx = ExecutionContext(V100)
+        with ctx.on_queue("sample"):
+            ctx.record("a", flops=1e9)
+        with ctx.on_queue("compute"):
+            ctx.record("b", flops=1e9)
+        per_kernel = ctx.queue("sample").busy_seconds
+        # Both kernels start at t=0 on their own queue: the epoch clock
+        # is the max of the two ends, not their sum.
+        assert ctx.elapsed == pytest.approx(per_kernel)
+        assert ctx.busy_seconds == pytest.approx(2 * per_kernel)
+
+    def test_same_queue_serializes(self):
+        ctx = ExecutionContext(V100)
+        with ctx.on_queue("sample"):
+            ctx.record("a", flops=1e9)
+            ctx.record("b", flops=1e9)
+        assert ctx.elapsed == pytest.approx(ctx.queue("sample").busy_seconds)
+        assert ctx.launches[1].sim_start == pytest.approx(
+            ctx.launches[0].sim_end
+        )
+
+    def test_not_before_defers_queue(self):
+        ctx = ExecutionContext(V100)
+        with ctx.on_queue("transfer", not_before=1.5):
+            ctx.record("a", flops=1e9)
+        assert ctx.launches[0].sim_start == pytest.approx(1.5)
+        assert ctx.elapsed == pytest.approx(
+            1.5 + ctx.queue("transfer").busy_seconds
+        )
+
+    def test_reset_clears_queues(self):
+        ctx = ExecutionContext(V100)
+        with ctx.on_queue("sample"):
+            ctx.record("a", flops=1e9)
+        ctx.reset()
+        assert ctx.elapsed == 0.0
+        assert ctx.busy_seconds == 0.0
+        assert ctx.queue_stats() == {}
+
+
+# ----------------------------------------------------------------------
+# Feature cache
+# ----------------------------------------------------------------------
+def _features(n=100, f=16):
+    return np.ones((n, f), dtype=np.float32)
+
+
+class TestFeatureCache:
+    def test_caches_hottest_rows(self):
+        scores = np.arange(100, dtype=np.float64)
+        cache = FeatureCache(
+            _features(), scores, ratio=0.10, pool=MemoryPool()
+        )
+        np.testing.assert_array_equal(cache.cached_ids, np.arange(90, 100))
+        hits, misses = cache.split(np.array([0, 1, 95, 99]))
+        assert (hits, misses) == (2, 2)
+
+    def test_hit_rate_monotone_in_ratio(self):
+        rng = new_rng(0)
+        scores = rng.random(100)
+        nodes = rng.integers(0, 100, 500)
+        rates = []
+        for ratio in (0.0, 0.1, 0.3, 0.6, 1.0):
+            cache = FeatureCache(
+                _features(), scores, ratio=ratio, pool=MemoryPool()
+            )
+            cache.record_gather(nodes)
+            rates.append(cache.epoch_stats().hit_rate)
+        assert rates == sorted(rates)
+        assert rates[0] == 0.0 and rates[-1] == 1.0
+
+    def test_budget_evicts_cold_tail(self):
+        # 100 rows x 64 bytes = 6400 bytes wanted; a 2 KiB pool forces
+        # halving down to a prefix that fits.
+        pool = MemoryPool(capacity=2048)
+        scores = np.arange(100, dtype=np.float64)
+        cache = FeatureCache(_features(), scores, ratio=1.0, pool=pool)
+        assert 0 < cache.cached_rows < 100
+        assert pool.live_bytes <= 2048
+        stats = cache.epoch_stats()
+        assert stats.evicted_rows == 100 - cache.cached_rows
+        # The rows that survive are the hottest prefix, not a random set.
+        np.testing.assert_array_equal(
+            cache.cached_ids, np.arange(100 - cache.cached_rows, 100)
+        )
+
+    def test_budget_refusal_leaves_pool_untouched(self):
+        pool = MemoryPool(capacity=256)  # below one 512-byte granule
+        cache = FeatureCache(
+            _features(), np.arange(100.0), ratio=0.5, pool=pool
+        )
+        assert cache.cached_rows == 0
+        assert pool.live_bytes == 0
+        cache.record_gather(np.arange(50))
+        assert cache.epoch_stats().hit_rate == 0.0
+
+    def test_release_returns_bytes(self):
+        pool = MemoryPool()
+        cache = FeatureCache(
+            _features(), np.arange(100.0), ratio=0.2, pool=pool
+        )
+        assert pool.live_bytes > 0
+        cache.release()
+        assert pool.live_bytes == 0
+        assert cache.split(np.arange(100))[0] == 0
+        cache.release()  # idempotent
+
+    def test_ratio_validated(self):
+        with pytest.raises(ShapeError):
+            FeatureCache(
+                _features(), np.arange(100.0), ratio=1.5, pool=MemoryPool()
+            )
+
+    def test_trainer_charges_only_misses_over_pcie(self):
+        ds = load_dataset("pp", scale=0.1)  # host-resident features
+        pool = MemoryPool()
+        cache = FeatureCache.from_dataset(ds, ratio=0.5, pool=pool)
+        row_bytes = ds.features.shape[1] * 4
+        cold = np.setdiff1d(
+            np.arange(ds.features.shape[0]), cache.cached_ids
+        )
+        nodes = np.concatenate([cache.cached_ids[:32], cold[:32]])
+        hits, misses = cache.split(nodes)
+        assert hits > 0 and misses > 0
+
+        class FakeSample:
+            all_nodes = nodes
+            seeds = nodes
+
+        model = GraphSAGEModel(
+            ds.features.shape[1], 8, ds.num_classes, num_layers=2,
+            rng=np.random.default_rng(0),
+        )
+        trainer = Trainer(
+            pipeline=None, model=model, dataset=ds, device=V100, batch_size=64
+        )
+        ctx = ExecutionContext(V100, graph_on_device=ds.graph_on_device)
+        trainer._gather_features(FakeSample, ctx, cache)
+        launch = ctx.launches[-1]
+        assert launch.bytes_read == len(nodes) * row_bytes
+        assert launch.uva_bytes == misses * row_bytes
+
+
+# ----------------------------------------------------------------------
+# Serial vs pipelined training parity (S4)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def pd_cell():
+    ds = load_dataset("pd", scale=0.25)
+    return run_pipeline_cell(
+        "graphsage", ds, device=V100, epochs=2, batch_size=256, max_batches=4
+    )
+
+
+class TestPipelinedParity:
+    def test_losses_and_accuracy_bit_identical(self, pd_cell):
+        serial, pipelined = pd_cell
+        assert serial.final_loss == pipelined.final_loss
+        assert serial.accuracy_history == pipelined.accuracy_history
+        assert serial.final_accuracy == pipelined.final_accuracy
+
+    def test_pipelining_reduces_epoch_time(self, pd_cell):
+        serial, pipelined = pd_cell
+        # Acceptance bar: >= 20% simulated-epoch-time reduction on the
+        # graphsage/PD/V100 cell at the default cache ratio.
+        assert pipelined.total_seconds <= 0.8 * serial.total_seconds
+
+    def test_busy_seconds_conserved(self, pd_cell):
+        serial, pipelined = pd_cell
+        # Overlap hides time, it must not delete work: per-queue busy
+        # totals still sum to at least the pipelined makespan.
+        assert pipelined.serialized_seconds >= pipelined.total_seconds
+        assert pipelined.overlap_reduction > 0.0
+
+    def test_queue_reports_cover_three_stages(self, pd_cell):
+        _, pipelined = pd_cell
+        assert {r.queue for r in pipelined.queue_reports} == {
+            "sample", "transfer", "compute",
+        }
+
+    def test_sampled_outputs_bit_identical_with_queue_routing(self):
+        from repro.algorithms import make_algorithm
+
+        ds = load_dataset("pd", scale=0.25)
+        algo = make_algorithm("graphsage", fanouts=(5, 10))
+        pipeline = algo.build(ds.graph, ds.train_ids[:128])
+        batch = ds.train_ids[:128]
+        plain = pipeline.sample_batch(
+            batch, ctx=ExecutionContext(V100), rng=new_rng(7)
+        )
+        routed_ctx = ExecutionContext(V100)
+        with routed_ctx.on_queue("sample"):
+            routed = pipeline.sample_batch(batch, ctx=routed_ctx, rng=new_rng(7))
+        np.testing.assert_array_equal(plain.all_nodes, routed.all_nodes)
+        for a, b in zip(plain.layers, routed.layers):
+            np.testing.assert_array_equal(a.input_nodes, b.input_nodes)
+            np.testing.assert_array_equal(a.output_nodes, b.output_nodes)
+            np.testing.assert_array_equal(
+                a.matrix.get("csc").rows, b.matrix.get("csc").rows
+            )
+            np.testing.assert_array_equal(
+                a.matrix.get("csc").indptr, b.matrix.get("csc").indptr
+            )
+
+    def test_prefetch_depth_validated(self):
+        ds = load_dataset("pd", scale=0.25)
+        from repro.algorithms import make_algorithm
+
+        algo = make_algorithm("graphsage", fanouts=(5, 10))
+        model = GraphSAGEModel(
+            ds.features.shape[1], 8, ds.num_classes, num_layers=2,
+            rng=np.random.default_rng(0),
+        )
+        with pytest.raises(ShapeError):
+            PipelinedTrainer(
+                algo.build(ds.graph, ds.train_ids[:64]),
+                model,
+                ds,
+                device=V100,
+                prefetch_depth=0,
+            )
+
+    def test_prefetch_depth_bounds_sampler_lead(self):
+        # With depth 1 the sampler must wait for the previous compute;
+        # a deeper window can only start sampling earlier, so the epoch
+        # makespan is monotone non-increasing in prefetch depth.
+        ds = load_dataset("pd", scale=0.25)
+        times = []
+        for depth in (1, 2, 4):
+            _, pipelined = run_pipeline_cell(
+                "graphsage",
+                ds,
+                device=CPU,  # slow sampler: the prefetch window matters
+                train_device=V100,
+                epochs=1,
+                batch_size=256,
+                max_batches=4,
+                prefetch_depth=depth,
+            )
+            times.append(pipelined.total_seconds)
+        assert times[1] <= times[0]
+        assert times[2] <= times[1]
+
+    def test_cache_disabled_at_zero_ratio(self):
+        ds = load_dataset("pd", scale=0.25)
+        _, pipelined = run_pipeline_cell(
+            "graphsage", ds, device=V100, epochs=1, batch_size=256,
+            max_batches=2, cache_ratio=0.0,
+        )
+        assert pipelined.cache_stats is None
+
+    def test_unknown_algorithm_rejected(self):
+        ds = load_dataset("pd", scale=0.25)
+        with pytest.raises(ShapeError):
+            run_pipeline_cell("deepwalk", ds, device=V100)

@@ -200,3 +200,110 @@ def test_individual_sample_invariants(seed, k):
     np.testing.assert_array_equal(
         out.col_degrees(), np.minimum(csc.col_degrees(), k)
     )
+
+
+class TestCostModelParity:
+    """The fused and unfused kernels must price equivalent work alike."""
+
+    def _record(self, ctx, name):
+        matches = [l for l in ctx.launches if l.name == name]
+        assert matches, f"no {name} launch recorded"
+        return matches[-1]
+
+    def test_fused_flops_match_unfused_when_biased(self, rng):
+        from repro.device import ExecutionContext
+
+        csc = _csc(rng, rows=40, cols=40, nnz=300, weighted=True)
+        frontiers = np.arange(12)
+        fused_ctx = ExecutionContext()
+        fused_extract_individual_sample(
+            csc, frontiers, 3, rng=new_rng(0), ctx=fused_ctx
+        )
+        unfused_ctx = ExecutionContext()
+        sub = slice_columns(csc, frontiers)
+        individual_sample(sub, 3, rng=new_rng(0), ctx=unfused_ctx)
+        fused = self._record(fused_ctx, "fused_extract_individual_sample")
+        unfused = self._record(unfused_ctx, "individual_sample")
+        # The candidate edge set is identical, and both paths generate a
+        # key and run the race compare per candidate: 2 flops/edge.
+        assert fused.flops == unfused.flops == sub.nnz * 2.0
+
+    def test_fused_flops_match_unfused_when_uniform(self, rng):
+        from repro.device import ExecutionContext
+
+        csc = _csc(rng, rows=40, cols=40, nnz=300, weighted=False)
+        frontiers = np.arange(12)
+        fused_ctx = ExecutionContext()
+        fused_extract_individual_sample(
+            csc, frontiers, 3, rng=new_rng(0), ctx=fused_ctx
+        )
+        unfused_ctx = ExecutionContext()
+        sub = slice_columns(csc, frontiers)
+        individual_sample(sub, 3, rng=new_rng(0), ctx=unfused_ctx)
+        fused = self._record(fused_ctx, "fused_extract_individual_sample")
+        unfused = self._record(unfused_ctx, "individual_sample")
+        assert fused.flops == unfused.flops == sub.nnz * 1.0
+
+    def test_collective_replace_keeps_layer_width(self, rng):
+        # A single deduplicated batch of draws used to shrink the layer
+        # below k; redrawing until k distinct rows keeps the width.
+        csc = _csc(rng, rows=50, cols=20, nnz=400, weighted=True)
+        result = collective_sample(csc, 12, replace=True, rng=new_rng(0))
+        assert len(result.selected_rows) == 12
+        assert len(np.unique(result.selected_rows)) == 12
+        assert result.matrix.shape == (12, csc.shape[1])
+
+    def test_collective_replace_capped_by_available_rows(self, rng):
+        probs = np.zeros(30)
+        probs[:7] = 1.0
+        csc = _csc(rng, rows=30, cols=10, nnz=90, weighted=True)
+        result = collective_sample(
+            csc, 20, node_probs=probs, replace=True, rng=new_rng(1)
+        )
+        np.testing.assert_array_equal(
+            np.sort(result.selected_rows), np.arange(7)
+        )
+
+    def test_collective_unweighted_charges_no_value_bytes(self, rng):
+        from repro.device import ExecutionContext
+
+        import dataclasses as dc
+
+        weighted = _csc(rng, rows=30, cols=12, nnz=150, weighted=True)
+        unweighted = dc.replace(weighted, values=None)
+        w_ctx, u_ctx = ExecutionContext(), ExecutionContext()
+        collective_sample(weighted, 5, rng=new_rng(2), ctx=w_ctx)
+        collective_sample(
+            unweighted,
+            5,
+            node_probs=np.ones(unweighted.shape[0]),
+            rng=new_rng(2),
+            ctx=u_ctx,
+        )
+        w = self._record(w_ctx, "collective_sample")
+        u = self._record(u_ctx, "collective_sample")
+        # 8 bytes/edge for the row id; the weighted matrix adds 4 for the
+        # value, the unweighted one must not charge values it never reads.
+        assert w.bytes_read - u.bytes_read == weighted.nnz * 4
+
+    def test_biased_walk_charges_candidate_rows(self, rng):
+        from repro.device import ExecutionContext
+
+        csc = _csc(rng, rows=30, cols=30, nnz=200, weighted=True)
+        frontiers = np.arange(30)
+        lengths = csc.col_degrees()[frontiers]
+        bias = np.ones(csc.nnz)
+        biased_ctx, uniform_ctx = ExecutionContext(), ExecutionContext()
+        uniform_walk_step(
+            csc, frontiers, rng=new_rng(3), ctx=biased_ctx, bias_edge_values=bias
+        )
+        uniform_walk_step(csc, frontiers, rng=new_rng(3), ctx=uniform_ctx)
+        biased = self._record(biased_ctx, "walk_step")
+        uniform = self._record(uniform_ctx, "walk_step")
+        # The inverse-CDF scan touches every candidate edge's row id and
+        # weight (8 + 4 bytes); the uniform path reads one row/frontier.
+        assert biased.bytes_read == len(frontiers) * 2 * 8 + int(
+            lengths.sum()
+        ) * (8 + 4)
+        assert uniform.bytes_read == len(frontiers) * 2 * 8 + len(frontiers) * 8
+        assert biased.bytes_read > uniform.bytes_read
