@@ -144,10 +144,19 @@ class FeatureCache:
         return self.allocation.nbytes if self.allocation is not None else 0
 
     def split(self, nodes: np.ndarray) -> tuple[int, int]:
-        """``(hits, misses)`` for one gather, without recording them."""
+        """``(hits, misses)`` for one gather, without recording them.
+
+        Duplicate node ids count once per occurrence — a gather that
+        reads the same row twice moves its bytes twice.  An empty node
+        array is a legal no-op gather: ``(0, 0)`` (and never indexes the
+        residency mask, so the float64 dtype NumPy gives ``[]`` by
+        default cannot poison the fancy index).
+        """
         nodes = np.asarray(nodes)
+        if nodes.size == 0:
+            return 0, 0
         hits = int(np.count_nonzero(self._is_cached[nodes]))
-        return hits, len(nodes) - hits
+        return hits, int(nodes.size) - hits
 
     def record_gather(self, nodes: np.ndarray) -> tuple[int, int]:
         """Split one gather into hits/misses and add to the epoch tally."""

@@ -13,6 +13,12 @@
   (the ``repro.profile`` subsystem): print a Table-9-style report,
   write a Chrome-trace/Perfetto JSON, and append a ``BENCH_<tag>.json``
   trajectory record, flagging regressions against the previous run;
+* ``serve`` — simulate an online inference-sampling session (the
+  ``repro.serve`` subsystem): a seeded arrival process drives the
+  dynamic batcher under an admission/degradation policy, and the run
+  reports throughput, p50/p95/p99 latency, shed/degraded counts, and
+  the batch-size histogram, with the same trace + ``BENCH_serve_*``
+  trajectory contract as ``profile``;
 * ``datasets`` / ``algorithms`` / ``systems`` — list what is available.
 """
 
@@ -136,6 +142,90 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="training epochs to simulate (pipeline mode)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="simulate an online serving session: queues, batching, SLOs",
+    )
+    serve.add_argument("--algorithm", default="graphsage")
+    serve.add_argument("--dataset", default="pd")
+    serve.add_argument("--device", default="v100", choices=("v100", "t4", "cpu"))
+    serve.add_argument("--scale", type=float, default=0.25)
+    serve.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=50_000.0,
+        help="mean arrival rate in requests per simulated second",
+    )
+    serve.add_argument("--requests", type=int, default=512)
+    serve.add_argument(
+        "--arrival",
+        default="poisson",
+        choices=("poisson", "bursty", "diurnal"),
+        help="arrival process shape",
+    )
+    serve.add_argument("--seeds-per-request", type=int, default=8)
+    serve.add_argument(
+        "--skew",
+        type=float,
+        default=1.1,
+        help="Zipf exponent of the per-request seed-node popularity",
+    )
+    serve.add_argument(
+        "--slo-ms",
+        type=float,
+        default=2.0,
+        help="p99 latency target in simulated milliseconds",
+    )
+    serve.add_argument("--max-batch", type=int, default=8)
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=0.5,
+        help="longest a batch head may wait before firing (simulated ms)",
+    )
+    serve.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=64,
+        help="bounded-queue depth for the shedding policies",
+    )
+    serve.add_argument(
+        "--policy",
+        default="full",
+        choices=("none", "shed", "degrade", "full"),
+        help="admission control: bounded-queue shedding and/or the "
+        "SLO-aware degradation ladder",
+    )
+    serve.add_argument(
+        "--cache-ratio",
+        type=float,
+        default=None,
+        help="fraction of nodes with device-pinned feature rows "
+        "(default 0.10, 0 disables the cache)",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--out-dir",
+        default=".",
+        help="directory receiving the trace and BENCH files",
+    )
+    serve.add_argument(
+        "--trace-out",
+        default=None,
+        help="Chrome-trace path (default: <out-dir>/trace_<tag>.json)",
+    )
+    serve.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative growth that counts as a regression",
+    )
+    serve.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit 3 when the comparator flags a regression",
     )
 
     sub.add_parser("datasets", help="list catalog datasets")
@@ -414,6 +504,170 @@ def _cmd_profile_pipeline(args: argparse.Namespace) -> int:
     return 3 if args.fail_on_regression else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` command: one online serving session + trajectory."""
+    import pathlib
+
+    from repro.cache import DEFAULT_CACHE_RATIO
+    from repro.datasets import load_dataset
+    from repro.device import get_device
+    from repro.errors import GSamplerError
+    from repro.profile import (
+        Profiler,
+        append_record,
+        bench_path,
+        compare_metrics,
+        write_chrome_trace,
+    )
+    from repro.serve import ServePolicy, WorkloadSpec, run_serve_session
+
+    cache_ratio = (
+        args.cache_ratio if args.cache_ratio is not None else DEFAULT_CACHE_RATIO
+    )
+    dataset = load_dataset(args.dataset, scale=args.scale)
+    device = get_device(args.device)
+    profiler = Profiler()
+    try:
+        spec = WorkloadSpec(
+            num_requests=args.requests,
+            arrival_rate=args.arrival_rate,
+            process=args.arrival,
+            seeds_per_request=args.seeds_per_request,
+            skew=args.skew,
+            seed=args.seed,
+        )
+        policy = ServePolicy.preset(
+            args.policy,
+            max_batch=args.max_batch,
+            max_wait=args.max_wait_ms * 1e-3,
+            queue_capacity=args.queue_capacity,
+            slo=args.slo_ms * 1e-3,
+        )
+        with profiler.activate():
+            simulator, report = run_serve_session(
+                dataset,
+                algorithm=args.algorithm,
+                device=device,
+                spec=spec,
+                policy=policy,
+                cache_ratio=cache_ratio,
+                seed=args.seed,
+                profiler=profiler,
+            )
+    except GSamplerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    slo_ms = args.slo_ms
+    rows = [
+        ["requests (completed/shed)", f"{report.completed}/{report.shed}"],
+        ["degraded requests", report.degraded],
+        ["throughput (req/s, simulated)", f"{report.throughput_rps:,.0f}"],
+        ["p50 latency (ms)", f"{report.p50_ms:.4f}"],
+        ["p95 latency (ms)", f"{report.p95_ms:.4f}"],
+        ["p99 latency (ms)", f"{report.p99_ms:.4f}"],
+        ["p99 vs SLO", f"{report.p99_ms:.3f} / {slo_ms:.3f} "
+         + ("OK" if report.p99_ms <= slo_ms else "BREACH")],
+        ["mean queueing (ms)", f"{report.mean_queue_ms:.4f}"],
+        ["mean batch size", f"{report.mean_batch:.2f}"],
+        ["batch histogram",
+         " ".join(f"{s}:{c}" for s, c in report.batch_histogram.items())],
+    ]
+    cache = report.cache
+    if cache is not None:
+        rows.append(
+            ["cache hit rate",
+             f"{cache.hit_rate:.1%} ({cache.cached_rows} rows pinned)"]
+        )
+    print(
+        format_table(
+            ["Metric", "Value"],
+            rows,
+            title=(
+                f"Online serving — {args.algorithm} on {args.dataset} "
+                f"({args.device}), {args.arrival} arrivals @ "
+                f"{args.arrival_rate:,.0f} req/s, policy={args.policy}"
+            ),
+        )
+    )
+    queue_rows = [
+        [
+            q.name,
+            ctx_name,
+            f"{q.busy_seconds * 1e3:.4f}",
+            f"{q.ready * 1e3:.4f}",
+            q.launches,
+            f"{q.busy_seconds / q.ready:.0%}" if q.ready else "0%",
+        ]
+        for ctx_name, ctx in (
+            ("sampling", simulator.sample_ctx),
+            ("feature I/O", simulator.io_ctx),
+        )
+        for q in ctx.queue_stats().values()
+    ]
+    print(
+        format_table(
+            ["Queue", "Context", "Busy (ms)", "End (ms)", "Launches", "Util"],
+            queue_rows,
+            title="Queue timelines",
+        )
+    )
+
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    tag = f"serve_{args.algorithm}_{args.dataset}_{args.device}"
+    trace_path = (
+        pathlib.Path(args.trace_out)
+        if args.trace_out
+        else out_dir / f"trace_{tag}.json"
+    )
+    write_chrome_trace(profiler, trace_path)
+    print(f"\nchrome trace: {trace_path} ({len(profiler.spans)} spans)")
+
+    metrics = dict(report.to_metrics())
+    metrics["launches"] = (
+        simulator.sample_ctx.launch_count() + simulator.io_ctx.launch_count()
+    )
+    meta = {
+        "algorithm": args.algorithm,
+        "dataset": args.dataset,
+        "device": args.device,
+        "scale": args.scale,
+        "arrival": args.arrival,
+        "arrival_rate": args.arrival_rate,
+        "requests": args.requests,
+        "seeds_per_request": args.seeds_per_request,
+        "skew": args.skew,
+        "policy": args.policy,
+        "max_batch": args.max_batch,
+        "max_wait_ms": args.max_wait_ms,
+        "queue_capacity": args.queue_capacity,
+        "slo_ms": args.slo_ms,
+        "cache_ratio": cache_ratio,
+        "seed": args.seed,
+    }
+    record_path = bench_path(out_dir, tag)
+    record, previous = append_record(
+        record_path, tag=tag, meta=meta, metrics=metrics
+    )
+    print(f"trajectory: {record_path} (run {record['run']})")
+    if previous is None:
+        print("no previous record; comparator skipped")
+        return 0
+    regressions = compare_metrics(
+        previous["metrics"], record["metrics"], threshold=args.threshold
+    )
+    if not regressions:
+        print(
+            f"no regressions vs run {previous['run']} "
+            f"(threshold {args.threshold:.0%})"
+        )
+        return 0
+    print(f"REGRESSIONS vs run {previous['run']}:")
+    for regression in regressions:
+        print(f"  {regression.describe()}")
+    return 3 if args.fail_on_regression else 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     import pathlib
 
@@ -546,6 +800,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_verify(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "datasets":
         print("\n".join(available_datasets()))
         return 0

@@ -21,9 +21,14 @@ from typing import TYPE_CHECKING
 
 from repro.device.memory import MemoryPool
 from repro.device.spec import CPU, DeviceSpec
+from repro.errors import DeviceError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.profile.spans import Profiler
+
+#: Name of the implicit serial queue; reserved — launches land on it only
+#: when no ``on_queue`` block is active, never by explicit routing.
+DEFAULT_QUEUE = "default"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -68,7 +73,21 @@ class QueueTimeline:
     launches: int = 0
 
     def sync_to(self, event_time: float) -> None:
-        """Block the queue until ``event_time`` (no-op if already past)."""
+        """Block the queue until ``event_time`` (no-op if already past).
+
+        An event time before the timeline origin is a caller bug — there
+        is no simulated moment before 0, so it cannot name a real event —
+        and raises :class:`~repro.errors.DeviceError` instead of being
+        silently clamped.  (Event times between 0 and ``ready`` are fine:
+        waiting on an event that already fired is a no-op, exactly as
+        ``cudaStreamWaitEvent`` behaves.)
+        """
+        if not event_time >= 0.0:  # catches negatives and NaN
+            raise DeviceError(
+                f"queue {self.name!r}: cannot sync to event time "
+                f"{event_time!r} — event times start at 0 on the "
+                "simulated clock"
+            )
         if event_time > self.ready:
             self.ready = event_time
 
@@ -87,6 +106,14 @@ class ExecutionContext:
     memory:
         Optional shared memory pool; a fresh unbounded pool is created
         when omitted.
+    queues:
+        Optional declaration of the queue names this context may use.
+        When given, the named timelines are created up front and
+        :meth:`queue` / :meth:`on_queue` raise
+        :class:`~repro.errors.DeviceError` for any other name — a typo'd
+        queue then fails loudly instead of silently accruing time on a
+        fresh timeline nobody reads.  When omitted (the default), queues
+        are created lazily on first use, as before.
     profiler:
         Optional :class:`~repro.profile.Profiler`; when set, every
         recorded launch is mirrored as a leaf span on the profiler's
@@ -103,6 +130,7 @@ class ExecutionContext:
         memory: MemoryPool | None = None,
         cost_scale: float = 1.0,
         profiler: "Profiler | None" = None,
+        queues: "tuple[str, ...] | list[str] | None" = None,
     ) -> None:
         self.device = device
         self.graph_on_device = graph_on_device
@@ -121,17 +149,49 @@ class ExecutionContext:
         #: the total work, so ``busy_seconds / elapsed`` measures
         #: overlap efficiency.
         self.busy_seconds = 0.0
-        #: Named device queues, created lazily by :meth:`queue`.
+        #: Named device queues, created lazily by :meth:`queue` (or up
+        #: front when declared via the ``queues`` parameter).
         self.queues: dict[str, QueueTimeline] = {}
         self._active_queue: QueueTimeline | None = None
+        self._declared: tuple[str, ...] | None = (
+            tuple(queues) if queues is not None else None
+        )
+        if self._declared is not None:
+            for name in self._declared:
+                self._validate_queue_name(name)
+                self.queues[name] = QueueTimeline(name=name)
 
     # ------------------------------------------------------------------
     # Queue management
     # ------------------------------------------------------------------
+    @staticmethod
+    def _validate_queue_name(name: str) -> None:
+        if not isinstance(name, str) or not name.strip():
+            raise DeviceError(
+                f"queue name must be a non-empty string, got {name!r}"
+            )
+        if name == DEFAULT_QUEUE:
+            raise DeviceError(
+                f"queue name {DEFAULT_QUEUE!r} is reserved for the "
+                "implicit serial timeline; record outside on_queue() to "
+                "use it"
+            )
+
     def queue(self, name: str) -> QueueTimeline:
-        """The named queue, created at the current timeline start (0)."""
+        """The named queue, created at the current timeline start (0).
+
+        With a declared queue set (the ``queues`` constructor parameter),
+        unknown names raise :class:`~repro.errors.DeviceError` instead of
+        creating a fresh timeline.
+        """
         timeline = self.queues.get(name)
         if timeline is None:
+            self._validate_queue_name(name)
+            if self._declared is not None:
+                raise DeviceError(
+                    f"unknown queue {name!r}; this context declares "
+                    f"queues {sorted(self._declared)}"
+                )
             timeline = QueueTimeline(name=name)
             self.queues[name] = timeline
         return timeline
@@ -147,6 +207,11 @@ class ExecutionContext:
         ``elapsed`` becomes the max over all queue end times, which is
         what makes overlapping queue timelines sum to a makespan rather
         than a total.
+
+        Raises :class:`~repro.errors.DeviceError` for a queue name this
+        context does not know (when queues were declared up front), for
+        the reserved ``"default"`` name, and for a ``not_before`` that
+        lies before the simulated clock's origin.
         """
         timeline = self.queue(name)
         timeline.sync_to(not_before)
@@ -239,6 +304,9 @@ class ExecutionContext:
         self.elapsed = 0.0
         self.busy_seconds = 0.0
         self.queues.clear()
+        if self._declared is not None:
+            for name in self._declared:
+                self.queues[name] = QueueTimeline(name=name)
         if include_peak:
             self.memory.reset_peak()
 

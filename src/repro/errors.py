@@ -60,3 +60,13 @@ class MemoryBudgetError(GSamplerError):
 
 class DeviceError(GSamplerError):
     """The device simulator was used inconsistently."""
+
+
+class ServeError(GSamplerError):
+    """The online serving simulator was configured inconsistently.
+
+    Raised by :mod:`repro.serve` for invalid workload specs (non-positive
+    arrival rates, unknown arrival processes), batching policies that can
+    never fire (zero max batch), and SLO targets that cannot be expressed
+    on the simulated clock.
+    """

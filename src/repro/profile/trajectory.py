@@ -19,7 +19,9 @@ import time
 
 #: Metrics compared by :func:`compare_metrics`; all are deterministic
 #: under the simulator, so any change is a real behavioural change.
-FLAGGED_METRICS = ("sim_seconds", "launches", "peak_bytes")
+#: ``p99_ms`` only appears in serving trajectories (``BENCH_serve_*``);
+#: absent metrics are skipped, so other tags are unaffected.
+FLAGGED_METRICS = ("sim_seconds", "launches", "peak_bytes", "p99_ms")
 
 #: Per-kernel times below this (seconds) are ignored by the comparator:
 #: a 10% swing on a nanosecond kernel is noise amplification, not signal.

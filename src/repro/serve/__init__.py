@@ -1,0 +1,67 @@
+"""Online serving subsystem: request queues, dynamic batching, SLOs.
+
+The offline pipeline (``repro.pipeline``) amortizes per-launch overhead
+by construction — every epoch is a fixed batch schedule.  An online
+service must make the same trade *dynamically*: coalesce enough queued
+requests to keep the device busy without letting the oldest request's
+latency blow through its SLO.  This package simulates that loop on the
+device simulator's clock:
+
+* :mod:`repro.serve.workload` — seeded arrival processes (Poisson,
+  bursty, diurnal) and skew-drawn per-request seed sets;
+* :mod:`repro.serve.simulator` — the dynamic batcher
+  (max-batch/max-wait), bounded-queue admission control, the SLO-aware
+  degradation ladder (reduced fanout, then cached-only features), and
+  batch service on the ``sample``/``transfer`` device queues;
+* :mod:`repro.serve.metrics` — the per-request log and the aggregate
+  report (throughput, p50/p95/p99, batch histogram, shed/degraded
+  counts, cache hit rate).
+
+CLI: ``gsampler-repro serve --arrival-rate ... --slo-ms ... --max-batch
+... --policy full``.  Every observable is deterministic in the workload
+spec and simulator seed.
+"""
+
+from repro.serve.metrics import (
+    LATENCY_PERCENTILES,
+    RequestLog,
+    ServeReport,
+    summarize,
+)
+from repro.serve.simulator import (
+    MAX_DEGRADE_LEVEL,
+    POLICY_PRESETS,
+    SERVE_CONFIGS,
+    ServePolicy,
+    ServeSimulator,
+    degraded_kwargs,
+    run_serve_session,
+)
+from repro.serve.workload import (
+    ARRIVAL_PROCESSES,
+    Request,
+    WorkloadSpec,
+    arrival_times,
+    generate_workload,
+    rank_probabilities,
+)
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "LATENCY_PERCENTILES",
+    "MAX_DEGRADE_LEVEL",
+    "POLICY_PRESETS",
+    "Request",
+    "RequestLog",
+    "SERVE_CONFIGS",
+    "ServePolicy",
+    "ServeReport",
+    "ServeSimulator",
+    "WorkloadSpec",
+    "arrival_times",
+    "degraded_kwargs",
+    "generate_workload",
+    "rank_probabilities",
+    "run_serve_session",
+    "summarize",
+]

@@ -1,0 +1,182 @@
+"""Serving metrics: the per-request log and its aggregate report.
+
+Latency accounting follows the standard serving decomposition:
+
+* ``queue`` time — from a request's arrival to its batch's service start
+  (dynamic-batching wait plus head-of-line blocking behind earlier
+  batches);
+* ``service`` time — from service start to the batch's last queue
+  finishing (sampling on the ``sample`` queue, then the feature fetch on
+  the ``transfer`` queue);
+* end-to-end latency = queue + service, reported as p50/p95/p99 over
+  completed requests only.  Shed requests never enter the percentiles —
+  a refused request is an availability loss (counted separately), not a
+  latency sample.
+
+Everything here is pure NumPy over the deterministic request log, so a
+fixed seed reproduces every percentile bit-for-bit (the determinism
+guard's second half).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections import Counter
+
+import numpy as np
+
+from repro.cache import CacheStats
+
+#: Percentiles reported by :func:`summarize`.
+LATENCY_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+@dataclasses.dataclass
+class RequestLog:
+    """Lifecycle record of one request through the serving simulator."""
+
+    rid: int
+    arrival: float
+    admitted: bool
+    start: float = math.nan
+    completion: float = math.nan
+    batch_id: int = -1
+    batch_size: int = 0
+    #: Degradation-ladder level the request was served at (0 = full
+    #: fidelity); for shed requests, the level in force when refused.
+    level: int = 0
+
+    @property
+    def completed(self) -> bool:
+        return self.admitted and not math.isnan(self.completion)
+
+    @property
+    def latency(self) -> float:
+        return self.completion - self.arrival
+
+    @property
+    def queue_seconds(self) -> float:
+        return self.start - self.arrival
+
+    def key(self) -> tuple:
+        """Hashable identity used by the determinism guard."""
+        return (
+            self.rid,
+            self.arrival,
+            self.admitted,
+            self.start,
+            self.completion,
+            self.batch_id,
+            self.batch_size,
+            self.level,
+        )
+
+
+@dataclasses.dataclass
+class ServeReport:
+    """Aggregate outcome of one serving session."""
+
+    requests: int
+    completed: int
+    shed: int
+    #: Requests served below full fidelity (ladder level >= 1).
+    degraded: int
+    #: Simulated seconds from t=0 to the last completion.
+    makespan: float
+    throughput_rps: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_ms: float
+    max_ms: float
+    mean_queue_ms: float
+    mean_batch: float
+    #: ``batch size -> number of batches`` histogram.
+    batch_histogram: dict[int, int]
+    cache: CacheStats | None
+    logs: list[RequestLog]
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.requests if self.requests else 0.0
+
+    def fingerprint(self) -> tuple:
+        """Order-sensitive digest of the full request log + percentiles.
+
+        Two serve runs with equal seeds must produce equal fingerprints;
+        this is what the determinism test compares.
+        """
+        return (
+            tuple(log.key() for log in self.logs),
+            (self.p50_ms, self.p95_ms, self.p99_ms, self.throughput_rps),
+        )
+
+    def to_metrics(self) -> dict[str, float]:
+        """Flat metric dict for the ``BENCH_serve_*`` trajectory record."""
+        return {
+            "sim_seconds": self.makespan,
+            "throughput_rps": self.throughput_rps,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "mean_queue_ms": self.mean_queue_ms,
+            "mean_batch": self.mean_batch,
+            "completed": float(self.completed),
+            "shed": float(self.shed),
+            "degraded": float(self.degraded),
+            "cache_hit_rate": self.cache.hit_rate if self.cache else 0.0,
+        }
+
+
+def percentile_ms(latencies: np.ndarray, q: float) -> float:
+    """The ``q``-th percentile of ``latencies`` (seconds), in ms."""
+    if latencies.size == 0:
+        return 0.0
+    return float(np.percentile(latencies, q)) * 1e3
+
+
+def summarize(
+    logs: list[RequestLog], *, cache: CacheStats | None = None
+) -> ServeReport:
+    """Fold a request log into a :class:`ServeReport`."""
+    done = [log for log in logs if log.completed]
+    latencies = np.array([log.latency for log in done], dtype=np.float64)
+    queue_waits = np.array(
+        [log.queue_seconds for log in done], dtype=np.float64
+    )
+    makespan = max((log.completion for log in done), default=0.0)
+    # Per-batch histogram: each batch contributes once, not once per
+    # member request.
+    batches: Counter[int] = Counter()
+    seen: set[int] = set()
+    for log in done:
+        if log.batch_id >= 0 and log.batch_id not in seen:
+            seen.add(log.batch_id)
+            batches[log.batch_size] += 1
+    total_batches = sum(batches.values())
+    return ServeReport(
+        requests=len(logs),
+        completed=len(done),
+        shed=sum(1 for log in logs if not log.admitted),
+        degraded=sum(1 for log in done if log.level > 0),
+        makespan=makespan,
+        throughput_rps=len(done) / makespan if makespan > 0.0 else 0.0,
+        p50_ms=percentile_ms(latencies, 50.0),
+        p95_ms=percentile_ms(latencies, 95.0),
+        p99_ms=percentile_ms(latencies, 99.0),
+        mean_ms=float(latencies.mean()) * 1e3 if latencies.size else 0.0,
+        max_ms=float(latencies.max()) * 1e3 if latencies.size else 0.0,
+        mean_queue_ms=(
+            float(queue_waits.mean()) * 1e3 if queue_waits.size else 0.0
+        ),
+        mean_batch=(
+            sum(size * count for size, count in batches.items())
+            / total_batches
+            if total_batches
+            else 0.0
+        ),
+        batch_histogram=dict(sorted(batches.items())),
+        cache=cache,
+        logs=logs,
+    )

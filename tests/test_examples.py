@@ -19,6 +19,7 @@ FAST_EXAMPLES = [
     "custom_algorithm.py",
     "heterogeneous_metapath.py",
     "pass_attention_training.py",
+    "serve_online.py",
 ]
 
 

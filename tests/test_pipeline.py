@@ -16,10 +16,11 @@ import numpy as np
 import pytest
 
 from repro.cache import FeatureCache
+from repro.cache.feature_cache import CacheStats
 from repro.core import new_rng
 from repro.datasets import load_dataset
 from repro.device import CPU, ExecutionContext, MemoryPool, V100
-from repro.errors import ShapeError
+from repro.errors import DeviceError, ShapeError
 from repro.learning import GraphSAGEModel
 from repro.learning.trainer import Trainer
 from repro.pipeline import PipelinedTrainer, run_pipeline_cell
@@ -77,6 +78,71 @@ class TestQueueSemantics:
         assert ctx.elapsed == 0.0
         assert ctx.busy_seconds == 0.0
         assert ctx.queue_stats() == {}
+
+
+class TestQueueValidation:
+    """Declared-queue strictness and event-time sanity (serving hardening)."""
+
+    def test_unknown_declared_queue_raises(self):
+        ctx = ExecutionContext(V100, queues=("sample", "transfer"))
+        with pytest.raises(DeviceError, match="unknown queue 'trnsfer'"):
+            ctx.queue("trnsfer")
+        with pytest.raises(DeviceError, match="declares queues"):
+            with ctx.on_queue("compute"):
+                pass
+
+    def test_declared_queues_precreated_and_usable(self):
+        ctx = ExecutionContext(V100, queues=("sample",))
+        assert "sample" in ctx.queue_stats()
+        with ctx.on_queue("sample"):
+            ctx.record("a", flops=1e9)
+        assert ctx.queue("sample").launches == 1
+
+    def test_lazy_context_still_creates_on_demand(self):
+        ctx = ExecutionContext(V100)  # no declaration: PR 3 behaviour
+        assert ctx.queue("anything").name == "anything"
+
+    def test_default_name_reserved(self):
+        with pytest.raises(DeviceError, match="reserved"):
+            ExecutionContext(V100, queues=("default",))
+        ctx = ExecutionContext(V100)
+        with pytest.raises(DeviceError, match="reserved"):
+            with ctx.on_queue("default"):
+                pass
+
+    def test_empty_queue_name_rejected(self):
+        ctx = ExecutionContext(V100)
+        with pytest.raises(DeviceError, match="non-empty"):
+            ctx.queue("  ")
+
+    def test_negative_not_before_raises(self):
+        ctx = ExecutionContext(V100)
+        with pytest.raises(DeviceError, match="start at 0"):
+            with ctx.on_queue("transfer", not_before=-1e-6):
+                pass
+        with pytest.raises(DeviceError):
+            ctx.queue("transfer").sync_to(float("nan"))
+
+    def test_past_event_time_is_noop(self):
+        # Waiting on an event that already fired is legal (the
+        # cudaStreamWaitEvent contract), not an error.
+        ctx = ExecutionContext(V100)
+        with ctx.on_queue("sample"):
+            ctx.record("a", flops=1e9)
+        ready = ctx.queue("sample").ready
+        with ctx.on_queue("sample", not_before=ready / 2):
+            ctx.record("b", flops=1e9)
+        assert ctx.launches[1].sim_start == pytest.approx(ready)
+
+    def test_reset_recreates_declared_queues(self):
+        ctx = ExecutionContext(V100, queues=("sample",))
+        with ctx.on_queue("sample"):
+            ctx.record("a", flops=1e9)
+        ctx.reset()
+        assert ctx.queue_stats().keys() == {"sample"}
+        assert ctx.queue("sample").ready == 0.0
+        with pytest.raises(DeviceError):
+            ctx.queue("other")
 
 
 # ----------------------------------------------------------------------
@@ -151,6 +217,48 @@ class TestFeatureCache:
             FeatureCache(
                 _features(), np.arange(100.0), ratio=1.5, pool=MemoryPool()
             )
+
+    def test_split_empty_gather_is_noop(self):
+        cache = FeatureCache(
+            _features(), np.arange(100.0), ratio=0.2, pool=MemoryPool()
+        )
+        # The bare [] literal is float64 — split must not fancy-index
+        # the residency mask with it.
+        assert cache.split(np.asarray([])) == (0, 0)
+        assert cache.record_gather(np.asarray([], dtype=np.int64)) == (0, 0)
+        assert cache.epoch_stats().hit_rate == 0.0
+
+    def test_split_duplicates_count_per_occurrence(self):
+        cache = FeatureCache(
+            _features(), np.arange(100.0), ratio=0.1, pool=MemoryPool()
+        )
+        hot = cache.cached_ids[0]
+        hits, misses = cache.split(np.array([hot, hot, hot, 0, 0]))
+        assert (hits, misses) == (3, 2)
+
+    def test_all_miss_after_eviction(self):
+        # A pool too small for even one granule refuses the cache; every
+        # later gather — including of the would-be hottest rows — misses.
+        pool = MemoryPool(capacity=256)
+        cache = FeatureCache(
+            _features(), np.arange(100.0), ratio=0.5, pool=pool
+        )
+        assert cache.cached_rows == 0
+        hits, misses = cache.split(np.arange(90, 100))
+        assert (hits, misses) == (0, 10)
+        cache.release()  # releasing a refused cache stays a no-op
+        assert pool.live_bytes == 0
+
+    def test_hit_rate_zero_lookups(self):
+        stats = CacheStats(
+            cached_rows=10, requested_rows=10, cached_bytes=640,
+            hits=0, misses=0,
+        )
+        assert stats.hit_rate == 0.0  # no division-by-zero
+        cache = FeatureCache(
+            _features(), np.arange(100.0), ratio=0.2, pool=MemoryPool()
+        )
+        assert cache.epoch_stats().hit_rate == 0.0
 
     def test_trainer_charges_only_misses_over_pcie(self):
         ds = load_dataset("pp", scale=0.1)  # host-resident features

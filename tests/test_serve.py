@@ -1,0 +1,493 @@
+"""Online serving subsystem: workload, batcher, admission, determinism.
+
+The contracts under test:
+
+* workloads are bit-identical under equal specs, arrival processes are
+  ordered and rate-plausible, seed sets are skewed toward hot nodes;
+* the dynamic batcher respects ``max_batch``, fires at ``max_wait``, and
+  never starts a request's service before it arrived (causality);
+* admission control sheds only above capacity; the SLO ladder engages
+  under overload and degraded service is cheaper;
+* two full serve sessions with one seed produce identical request logs
+  and latency percentiles (the determinism guard);
+* acceptance: batched throughput >= 2x the batch-size-1 configuration,
+  and admission control meets a p99 SLO at an arrival rate where the
+  uncontrolled configuration breaches it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.device import V100
+from repro.errors import ServeError
+from repro.serve import (
+    Request,
+    ServePolicy,
+    ServeSimulator,
+    WorkloadSpec,
+    arrival_times,
+    degraded_kwargs,
+    generate_workload,
+    rank_probabilities,
+    run_serve_session,
+    summarize,
+)
+from repro.serve.metrics import RequestLog
+
+
+@pytest.fixture(scope="module")
+def pd():
+    return load_dataset("pd", scale=0.25)
+
+
+# ----------------------------------------------------------------------
+# Workload generation
+# ----------------------------------------------------------------------
+class TestWorkload:
+    def test_same_spec_same_stream(self):
+        spec = WorkloadSpec(num_requests=64, arrival_rate=1000.0, seed=7)
+        a = generate_workload(spec, num_nodes=500)
+        b = generate_workload(spec, num_nodes=500)
+        assert [r.arrival for r in a] == [r.arrival for r in b]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x.seeds, y.seeds)
+
+    def test_arrivals_sorted_and_rate_plausible(self):
+        from repro.core import new_rng
+
+        spec = WorkloadSpec(num_requests=2000, arrival_rate=1000.0)
+        times = arrival_times(spec, new_rng(0))
+        assert np.all(np.diff(times) > 0)
+        # Mean inter-arrival within 10% of 1/rate at n=2000.
+        mean = float(np.diff(times).mean())
+        assert 0.9e-3 < mean < 1.1e-3
+
+    @pytest.mark.parametrize("process", ["bursty", "diurnal"])
+    def test_modulated_processes_generate(self, process):
+        from repro.core import new_rng
+
+        spec = WorkloadSpec(
+            num_requests=500, arrival_rate=1000.0, process=process
+        )
+        times = arrival_times(spec, new_rng(1))
+        assert len(times) == 500
+        assert np.all(np.diff(times) > 0)
+
+    def test_bursty_is_burstier_than_poisson(self):
+        from repro.core import new_rng
+
+        base = WorkloadSpec(num_requests=2000, arrival_rate=1000.0)
+        bursty = WorkloadSpec(
+            num_requests=2000,
+            arrival_rate=1000.0,
+            process="bursty",
+            burst_factor=8.0,
+        )
+        cv = lambda t: np.diff(t).std() / np.diff(t).mean()  # noqa: E731
+        assert cv(arrival_times(bursty, new_rng(0))) > cv(
+            arrival_times(base, new_rng(0))
+        )
+
+    def test_skew_prefers_hot_nodes(self):
+        hotness = np.arange(100, dtype=np.float64)  # node 99 hottest
+        spec = WorkloadSpec(
+            num_requests=200, arrival_rate=1000.0, seeds_per_request=4,
+            skew=1.5, seed=3,
+        )
+        requests = generate_workload(spec, num_nodes=100, hotness=hotness)
+        seeds = np.concatenate([r.seeds for r in requests])
+        hot_share = np.mean(seeds >= 80)  # top-20% nodes by hotness
+        assert hot_share > 0.5
+
+    def test_rank_probabilities_normalized_and_monotone(self):
+        p = rank_probabilities(50, 1.1)
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(p) < 0)
+        uniform = rank_probabilities(50, 0.0)
+        np.testing.assert_allclose(uniform, 1.0 / 50)
+
+    def test_spec_validation(self):
+        with pytest.raises(ServeError):
+            WorkloadSpec(num_requests=0)
+        with pytest.raises(ServeError):
+            WorkloadSpec(arrival_rate=-1.0)
+        with pytest.raises(ServeError):
+            WorkloadSpec(process="lunar")
+        with pytest.raises(ServeError):
+            WorkloadSpec(burst_factor=0.5)
+        with pytest.raises(ServeError):
+            generate_workload(
+                WorkloadSpec(seeds_per_request=64), num_nodes=32
+            )
+
+
+# ----------------------------------------------------------------------
+# Dynamic batcher + admission (stubbed latencies via tiny real sessions)
+# ----------------------------------------------------------------------
+def _manual_requests(arrivals, seeds_per=4, num_nodes=100):
+    rng = np.random.default_rng(0)
+    return [
+        Request(
+            rid=i,
+            arrival=float(t),
+            seeds=np.sort(rng.choice(num_nodes, seeds_per, replace=False)),
+        )
+        for i, t in enumerate(arrivals)
+    ]
+
+
+class TestBatcher:
+    def _simulator(self, pd, policy):
+        return ServeSimulator(
+            pd, device=V100, policy=policy, cache_ratio=0.0, seed=0
+        )
+
+    def test_max_batch_respected(self, pd):
+        sim = self._simulator(
+            pd, ServePolicy(max_batch=3, max_wait=1.0, queue_capacity=None)
+        )
+        # All 7 requests arrive (almost) together: batches of 3, 3, 1.
+        report = sim.run(_manual_requests([0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]))
+        assert report.batch_histogram == {1: 1, 3: 2}
+        assert all(log.batch_size <= 3 for log in report.logs)
+
+    def test_max_wait_fires_partial_batch(self, pd):
+        sim = self._simulator(
+            pd, ServePolicy(max_batch=8, max_wait=1e-3, queue_capacity=None)
+        )
+        # A lone request: the batch can never fill, so it fires exactly
+        # at arrival + max_wait.
+        report = sim.run(_manual_requests([1e-3]))
+        (log,) = [l for l in report.logs if l.completed]
+        assert log.start == pytest.approx(2e-3)
+        assert log.batch_size == 1
+
+    def test_full_batch_fires_without_waiting(self, pd):
+        sim = self._simulator(
+            pd, ServePolicy(max_batch=2, max_wait=1.0, queue_capacity=None)
+        )
+        report = sim.run(_manual_requests([0.0, 1e-5]))
+        first = min(
+            (l for l in report.logs if l.completed), key=lambda l: l.rid
+        )
+        # Fires when the second member lands, not after the 1s timeout.
+        assert first.start == pytest.approx(1e-5)
+
+    def test_causality_no_negative_queue_time(self, pd):
+        sim = self._simulator(
+            pd, ServePolicy(max_batch=4, max_wait=5e-3, queue_capacity=None)
+        )
+        arrivals = np.sort(np.random.default_rng(5).uniform(0, 3e-3, 64))
+        report = sim.run(_manual_requests(list(arrivals)))
+        for log in report.logs:
+            if log.completed:
+                assert log.start >= log.arrival - 1e-15
+                assert log.completion > log.start
+
+    def test_batches_serialize_on_sample_queue(self, pd):
+        sim = self._simulator(
+            pd, ServePolicy(max_batch=2, max_wait=1e-6, queue_capacity=None)
+        )
+        report = sim.run(_manual_requests([0.0] * 8))
+        starts = sorted(
+            {l.start for l in report.logs if l.completed}
+        )
+        # Four batches, each starting no earlier than the previous
+        # batch's sampling finished: strictly increasing starts.
+        assert len(starts) == 4
+        assert all(b > a for a, b in zip(starts, starts[1:]))
+
+
+class TestAdmission:
+    def test_sheds_above_capacity(self, pd):
+        policy = ServePolicy(max_batch=2, max_wait=1e-3, queue_capacity=2)
+        sim = ServeSimulator(
+            pd, device=V100, policy=policy, cache_ratio=0.0, seed=0
+        )
+        # 32 simultaneous arrivals against a 2-deep queue: almost all shed.
+        report = sim.run(_manual_requests([0.0] * 32))
+        assert report.shed > 0
+        assert report.completed + report.shed == 32
+        shed_logs = [l for l in report.logs if not l.admitted]
+        assert all(np.isnan(l.completion) for l in shed_logs)
+
+    def test_unbounded_queue_never_sheds(self, pd):
+        policy = ServePolicy(max_batch=2, max_wait=1e-3, queue_capacity=None)
+        sim = ServeSimulator(
+            pd, device=V100, policy=policy, cache_ratio=0.0, seed=0
+        )
+        report = sim.run(_manual_requests([0.0] * 32))
+        assert report.shed == 0
+        assert report.completed == 32
+
+    def test_policy_presets(self):
+        none = ServePolicy.preset("none", slo=1e-3)
+        assert none.queue_capacity is None and none.slo is None
+        full = ServePolicy.preset("full", queue_capacity=16, slo=1e-3)
+        assert full.queue_capacity == 16 and full.slo == 1e-3
+        with pytest.raises(ServeError):
+            ServePolicy.preset("degrade")  # needs an SLO
+        with pytest.raises(ServeError):
+            ServePolicy.preset("bogus", slo=1e-3)
+
+    def test_policy_validation(self):
+        with pytest.raises(ServeError):
+            ServePolicy(max_batch=0)
+        with pytest.raises(ServeError):
+            ServePolicy(max_wait=-1.0)
+        with pytest.raises(ServeError):
+            ServePolicy(queue_capacity=0)
+        with pytest.raises(ServeError):
+            ServePolicy(slo=0.0)
+        with pytest.raises(ServeError):
+            ServePolicy(recover_margin=1.5)
+
+
+# ----------------------------------------------------------------------
+# Degradation ladder
+# ----------------------------------------------------------------------
+class TestDegradation:
+    def test_degraded_kwargs_halve_fidelity(self):
+        assert degraded_kwargs({"fanouts": (5, 10)}) == {"fanouts": (2, 5)}
+        assert degraded_kwargs({"fanouts": (1,)}) == {"fanouts": (1,)}
+        assert degraded_kwargs({"layer_width": 256, "num_layers": 2}) == {
+            "layer_width": 128,
+            "num_layers": 2,
+        }
+
+    def test_ladder_engages_under_overload(self, pd):
+        spec = WorkloadSpec(
+            num_requests=512, arrival_rate=400_000.0, seed=0
+        )
+        policy = ServePolicy(
+            max_batch=8,
+            max_wait=5e-4,
+            queue_capacity=None,
+            slo=5e-4,
+            min_samples=16,
+        )
+        _, report = run_serve_session(
+            pd, device=V100, spec=spec, policy=policy, seed=0
+        )
+        assert report.degraded > 0
+        levels = {log.level for log in report.logs if log.completed}
+        assert max(levels) >= 1
+
+    def test_degraded_service_is_cheaper(self, pd):
+        # Same stream served entirely at level 0 vs pinned at level 2:
+        # the degraded run must finish sooner (smaller fanout, no PCIe).
+        spec = WorkloadSpec(num_requests=128, arrival_rate=1e6, seed=0)
+        policy = ServePolicy(max_batch=8, max_wait=1e-4, queue_capacity=None)
+        sim_full = ServeSimulator(
+            pd, device=V100, policy=policy, cache_ratio=0.1, seed=0
+        )
+        requests = sim_full.build_workload(spec)
+        full = sim_full.run(requests)
+
+        sim_deg = ServeSimulator(
+            pd, device=V100, policy=policy, cache_ratio=0.1, seed=0
+        )
+        sim_deg._level = 2  # pin the ladder at its lowest fidelity
+        sim_deg.policy = policy  # no SLO: the level never moves
+        degraded = sim_deg.run(requests)
+        assert degraded.makespan < full.makespan
+        assert all(
+            log.level == 2 for log in degraded.logs if log.completed
+        )
+
+    def test_cached_only_fetch_skips_pcie(self, pd):
+        policy = ServePolicy(max_batch=4, max_wait=1e-4, queue_capacity=None)
+        sim = ServeSimulator(
+            pd, device=V100, policy=policy, cache_ratio=0.2, seed=0
+        )
+        sim._level = 2
+        sim.run(_manual_requests([0.0] * 4, num_nodes=pd.num_nodes))
+        fetches = [
+            l for l in sim.io_ctx.launches if l.name == "serve_feature_fetch"
+        ]
+        assert fetches and all(l.uva_bytes == 0.0 for l in fetches)
+
+    def test_normal_fetch_charges_misses_over_pcie(self, pd):
+        policy = ServePolicy(max_batch=4, max_wait=1e-4, queue_capacity=None)
+        sim = ServeSimulator(
+            pd, device=V100, policy=policy, cache_ratio=0.2, seed=0
+        )
+        sim.run(_manual_requests([0.0] * 4, num_nodes=pd.num_nodes))
+        fetches = [
+            l for l in sim.io_ctx.launches if l.name == "serve_feature_fetch"
+        ]
+        assert fetches and all(l.uva_bytes > 0.0 for l in fetches)
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_summarize_empty(self):
+        report = summarize([])
+        assert report.completed == 0
+        assert report.p99_ms == 0.0
+        assert report.throughput_rps == 0.0
+        assert report.batch_histogram == {}
+
+    def test_shed_requests_excluded_from_percentiles(self):
+        logs = [
+            RequestLog(rid=0, arrival=0.0, admitted=True, start=0.0,
+                       completion=1.0, batch_id=0, batch_size=1),
+            RequestLog(rid=1, arrival=0.0, admitted=False),
+        ]
+        report = summarize(logs)
+        assert report.completed == 1
+        assert report.shed == 1
+        assert report.p50_ms == pytest.approx(1000.0)
+
+    def test_histogram_counts_batches_not_requests(self):
+        logs = [
+            RequestLog(rid=i, arrival=0.0, admitted=True, start=0.0,
+                       completion=1.0, batch_id=0, batch_size=3)
+            for i in range(3)
+        ] + [
+            RequestLog(rid=3, arrival=0.0, admitted=True, start=1.0,
+                       completion=2.0, batch_id=1, batch_size=1)
+        ]
+        report = summarize(logs)
+        assert report.batch_histogram == {1: 1, 3: 1}
+        assert report.mean_batch == pytest.approx(2.0)
+
+    def test_unknown_algorithm_rejected(self, pd):
+        with pytest.raises(ServeError):
+            ServeSimulator(pd, algorithm="deepwalk", device=V100)
+
+
+# ----------------------------------------------------------------------
+# Determinism guard (satellite): bit-identical logs and percentiles
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    @pytest.mark.parametrize("process", ["poisson", "bursty"])
+    def test_two_runs_bit_identical(self, pd, process):
+        spec = WorkloadSpec(
+            num_requests=192,
+            arrival_rate=100_000.0,
+            process=process,
+            seed=11,
+        )
+        policy = ServePolicy(
+            max_batch=8, max_wait=5e-4, queue_capacity=32, slo=2e-3
+        )
+        _, a = run_serve_session(
+            pd, device=V100, spec=spec, policy=policy, seed=11
+        )
+        _, b = run_serve_session(
+            pd, device=V100, spec=spec, policy=policy, seed=11
+        )
+        assert a.fingerprint() == b.fingerprint()
+        assert a.to_metrics() == b.to_metrics()
+
+    def test_different_seed_differs(self, pd):
+        spec_a = WorkloadSpec(num_requests=96, arrival_rate=1e5, seed=1)
+        spec_b = WorkloadSpec(num_requests=96, arrival_rate=1e5, seed=2)
+        _, a = run_serve_session(pd, device=V100, spec=spec_a, seed=1)
+        _, b = run_serve_session(pd, device=V100, spec=spec_b, seed=2)
+        assert a.fingerprint() != b.fingerprint()
+
+
+# ----------------------------------------------------------------------
+# Acceptance criteria
+# ----------------------------------------------------------------------
+class TestAcceptance:
+    def test_batching_doubles_throughput(self, pd):
+        spec = WorkloadSpec(num_requests=256, arrival_rate=500_000.0, seed=0)
+        results = {}
+        for max_batch in (1, 8):
+            policy = ServePolicy(
+                max_batch=max_batch, max_wait=5e-4, queue_capacity=None
+            )
+            _, report = run_serve_session(
+                pd, device=V100, spec=spec, policy=policy, seed=0
+            )
+            results[max_batch] = report.throughput_rps
+        assert results[8] >= 2.0 * results[1]
+
+    def test_admission_control_meets_slo_where_none_breaches(self, pd):
+        spec = WorkloadSpec(
+            num_requests=1024, arrival_rate=400_000.0, seed=0
+        )
+        slo = 15e-4  # 1.5 simulated ms
+        _, uncontrolled = run_serve_session(
+            pd,
+            device=V100,
+            spec=spec,
+            policy=ServePolicy(
+                max_batch=8, max_wait=5e-4, queue_capacity=None, slo=None
+            ),
+            seed=0,
+        )
+        _, controlled = run_serve_session(
+            pd,
+            device=V100,
+            spec=spec,
+            policy=ServePolicy(
+                max_batch=8, max_wait=5e-4, queue_capacity=24, slo=slo
+            ),
+            seed=0,
+        )
+        assert uncontrolled.p99_ms > slo * 1e3
+        assert controlled.p99_ms <= slo * 1e3
+        # Control trades availability for latency, visibly.
+        assert controlled.shed > 0
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestServeCLI:
+    def test_serve_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "serve",
+                "--requests", "96",
+                "--scale", "0.1",
+                "--out-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p99 latency (ms)" in out
+        assert "throughput" in out
+        assert (tmp_path / "BENCH_serve_graphsage_pd_v100.json").exists()
+        assert (tmp_path / "trace_serve_graphsage_pd_v100.json").exists()
+
+    def test_serve_regression_exit_code(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+        from repro.profile import bench_path, load_trajectory
+
+        args = [
+            "serve",
+            "--requests", "64",
+            "--scale", "0.1",
+            "--out-dir", str(tmp_path),
+            "--fail-on-regression",
+        ]
+        assert main(args) == 0
+        # Poison the recorded p99 so the next identical run "regresses".
+        path = bench_path(tmp_path, "serve_graphsage_pd_v100")
+        data = load_trajectory(path)
+        data["records"][-1]["metrics"]["p99_ms"] *= 0.5
+        path.write_text(json.dumps(data))
+        capsys.readouterr()
+        assert main(args) == 3
+        assert "p99_ms" in capsys.readouterr().out
+
+    def test_serve_bad_policy_config(self, capsys):
+        from repro.cli import main
+
+        code = main(["serve", "--requests", "8", "--max-batch", "0"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
