@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Walk through multi-replica serving: routers, shards, the link tax.
+
+One workload — 500 heterogeneous requests (2-64 seeds each, the mix of
+long-history and fresh users) at 300k rps offered — served by a
+4-replica V100 cluster under every routing policy:
+
+1. **round_robin** — blind rotation.  Perfectly count-balanced, but it
+   stacks heavy requests behind heavy requests, so the tail pays;
+2. **jsq** — join-shortest-queue on outstanding requests.  Routes
+   around busy replicas; the p99 win over round-robin is the crossover
+   the cluster benchmark pins;
+3. **po2** — two seeded random choices, keep the less loaded.  Most of
+   JSQ's benefit with two probes instead of full state;
+4. **shard** — shard-affinity over a greedy graph partition.  Requests
+   follow their seed nodes' shard; frontier rows sampled outside the
+   shard hop the NVLink and show up as the cross-shard traffic column.
+
+Run:  python examples/serve_cluster.py
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table
+from repro.datasets import load_dataset
+from repro.device import V100
+from repro.serve import ServePolicy, WorkloadSpec, run_cluster_session
+
+REPLICAS = 4
+
+
+def run(ds, router, partition=None):
+    spec = WorkloadSpec(
+        num_requests=500,
+        arrival_rate=300_000.0,
+        seeds_per_request=2,
+        max_seeds_per_request=64,
+        seed=7,
+    )
+    policy = ServePolicy(max_batch=8, max_wait=5e-4, queue_capacity=32)
+    _, report = run_cluster_session(
+        ds,
+        device=V100,
+        spec=spec,
+        policy=policy,
+        num_replicas=REPLICAS,
+        router=router,
+        partition=partition,
+        link="nvlink",
+        seed=7,
+    )
+    spread = max(s.requests for s in report.per_replica) - min(
+        s.requests for s in report.per_replica
+    )
+    return [
+        router + (f" + {partition}" if partition else ""),
+        f"{report.p50_ms:.3f}",
+        f"{report.p99_ms:.3f}",
+        str(report.shed),
+        str(spread),
+        f"{report.cross_shard_bytes / 2**20:.2f}",
+        f"{report.link_seconds * 1e3:.3f}",
+    ]
+
+
+def main() -> None:
+    ds = load_dataset("pd", scale=0.25)
+    rows = [
+        run(ds, "round_robin"),
+        run(ds, "jsq"),
+        run(ds, "po2"),
+        run(ds, "shard", partition="greedy"),
+    ]
+    print(
+        format_table(
+            ["Router", "p50 (ms)", "p99 (ms)", "Shed", "Req spread",
+             "Remote MiB", "Link (ms)"],
+            rows,
+            title=(
+                f"Routing policies — graphsage/PD/V100, {REPLICAS} "
+                "replicas, 500 heterogeneous requests (2-64 seeds) at "
+                "300k rps offered"
+            ),
+        )
+    )
+    print(
+        "\nReading the table: round-robin balances request *counts* but\n"
+        "not *work* — with heterogeneous request sizes its tail lags\n"
+        "JSQ, which routes each arrival to the replica with the fewest\n"
+        "outstanding requests.  po2 approximates JSQ with two seeded\n"
+        "probes.  Shard-affinity ignores load entirely to follow data\n"
+        "locality: its request spread is the widest, and it is the only\n"
+        "policy paying the cross-shard link columns — frontier rows\n"
+        "sampled outside the owning replica's shard crossing the NVLink."
+    )
+
+
+if __name__ == "__main__":
+    main()

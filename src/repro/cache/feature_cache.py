@@ -55,6 +55,26 @@ class CacheStats:
         """Rows the requested ratio wanted but the budget refused."""
         return self.requested_rows - self.cached_rows
 
+    @classmethod
+    def merged(cls, stats: "list[CacheStats | None]") -> "CacheStats | None":
+        """Sum per-replica snapshots into one cluster-level snapshot.
+
+        Each serving replica owns its own cache; the cluster report's
+        hit rate is the traffic-weighted aggregate, which summing hits
+        and misses computes exactly.  ``None`` entries (cache-disabled
+        replicas) are skipped; all-``None`` input merges to ``None``.
+        """
+        present = [s for s in stats if s is not None]
+        if not present:
+            return None
+        return cls(
+            cached_rows=sum(s.cached_rows for s in present),
+            requested_rows=sum(s.requested_rows for s in present),
+            cached_bytes=sum(s.cached_bytes for s in present),
+            hits=sum(s.hits for s in present),
+            misses=sum(s.misses for s in present),
+        )
+
 
 class FeatureCache:
     """Static device-resident cache over a feature matrix's hot rows.

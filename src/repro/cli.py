@@ -167,6 +167,40 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--seeds-per-request", type=int, default=8)
     serve.add_argument(
+        "--max-seeds-per-request",
+        type=int,
+        default=None,
+        help="enable heterogeneous request sizes: per-request seed "
+        "count drawn uniformly from [seeds-per-request, this]",
+    )
+    serve.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="serving replicas behind the router (1 = the classic "
+        "single-replica session)",
+    )
+    serve.add_argument(
+        "--router",
+        default="round_robin",
+        choices=("round_robin", "jsq", "po2", "shard"),
+        help="request-routing policy across replicas",
+    )
+    serve.add_argument(
+        "--partition",
+        default="none",
+        choices=("none", "hash", "greedy"),
+        help="graph partitioner assigning one shard per replica; "
+        "cross-shard frontier rows are charged over the interconnect",
+    )
+    serve.add_argument(
+        "--link",
+        default=None,
+        choices=("nvlink", "pcie"),
+        help="interconnect for cross-shard fetches (default: the "
+        "device's native link, NVLink on v100)",
+    )
+    serve.add_argument(
         "--skew",
         type=float,
         default=1.1,
@@ -519,7 +553,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         compare_metrics,
         write_chrome_trace,
     )
-    from repro.serve import ServePolicy, WorkloadSpec, run_serve_session
+    from repro.serve import ServePolicy, WorkloadSpec, run_cluster_session
 
     cache_ratio = (
         args.cache_ratio if args.cache_ratio is not None else DEFAULT_CACHE_RATIO
@@ -527,12 +561,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset, scale=args.scale)
     device = get_device(args.device)
     profiler = Profiler()
+    partition = None if args.partition == "none" else args.partition
     try:
         spec = WorkloadSpec(
             num_requests=args.requests,
             arrival_rate=args.arrival_rate,
             process=args.arrival,
             seeds_per_request=args.seeds_per_request,
+            max_seeds_per_request=args.max_seeds_per_request,
             skew=args.skew,
             seed=args.seed,
         )
@@ -544,12 +580,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             slo=args.slo_ms * 1e-3,
         )
         with profiler.activate():
-            simulator, report = run_serve_session(
+            # A 1-replica round-robin cluster is bit-identical to the
+            # classic single-replica session, so everything routes
+            # through the cluster layer.
+            simulator, report = run_cluster_session(
                 dataset,
                 algorithm=args.algorithm,
                 device=device,
                 spec=spec,
                 policy=policy,
+                num_replicas=args.replicas,
+                router=args.router,
+                partition=partition,
+                link=args.link,
                 cache_ratio=cache_ratio,
                 seed=args.seed,
                 profiler=profiler,
@@ -578,6 +621,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ["cache hit rate",
              f"{cache.hit_rate:.1%} ({cache.cached_rows} rows pinned)"]
         )
+    if report.replicas > 1:
+        rows.append(["replicas / router", f"{report.replicas} / {report.router}"])
+        if simulator.partition is not None:
+            rows.append(
+                ["partition",
+                 f"{simulator.partition.method} "
+                 f"(edge cut {simulator.partition.edge_cut:.1%}, "
+                 f"link {simulator.link.name})"]
+            )
+            rows.append(
+                ["cross-shard traffic",
+                 f"{report.cross_shard_rows} rows / "
+                 f"{report.cross_shard_bytes / 2**20:.2f} MiB / "
+                 f"{report.link_seconds * 1e3:.4f} ms on the link"]
+            )
+    cluster_title = (
+        f", {report.replicas} replicas ({report.router})"
+        if report.replicas > 1
+        else ""
+    )
     print(
         format_table(
             ["Metric", "Value"],
@@ -586,9 +649,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"Online serving — {args.algorithm} on {args.dataset} "
                 f"({args.device}), {args.arrival} arrivals @ "
                 f"{args.arrival_rate:,.0f} req/s, policy={args.policy}"
+                f"{cluster_title}"
             ),
         )
     )
+    if report.replicas > 1:
+        replica_rows = [
+            [
+                stats.replica_id,
+                stats.requests,
+                f"{stats.completed}/{stats.shed}",
+                f"{stats.p50_ms:.4f}",
+                f"{stats.p99_ms:.4f}",
+                f"{stats.mean_batch:.2f}",
+                stats.cross_shard_rows,
+                f"{stats.link_seconds * 1e3:.4f}",
+            ]
+            for stats in report.per_replica
+        ]
+        print(
+            format_table(
+                ["Replica", "Requests", "Done/Shed", "p50 (ms)",
+                 "p99 (ms)", "Batch", "Remote rows", "Link (ms)"],
+                replica_rows,
+                title="Per-replica breakdown",
+            )
+        )
     queue_rows = [
         [
             q.name,
@@ -598,9 +684,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             q.launches,
             f"{q.busy_seconds / q.ready:.0%}" if q.ready else "0%",
         ]
+        for replica in simulator.replicas
         for ctx_name, ctx in (
-            ("sampling", simulator.sample_ctx),
-            ("feature I/O", simulator.io_ctx),
+            ("sampling", replica.sample_ctx),
+            ("feature I/O", replica.io_ctx),
         )
         for q in ctx.queue_stats().values()
     ]
@@ -614,7 +701,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     out_dir = pathlib.Path(args.out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
-    tag = f"serve_{args.algorithm}_{args.dataset}_{args.device}"
+    # Cluster sessions get their own trajectory file: their metrics
+    # (replica count, router, cross-shard traffic) are not comparable
+    # run-over-run with the single-replica serve trajectory.
+    kind = "cluster" if args.replicas > 1 else "serve"
+    tag = f"{kind}_{args.algorithm}_{args.dataset}_{args.device}"
     trace_path = (
         pathlib.Path(args.trace_out)
         if args.trace_out
@@ -624,8 +715,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"\nchrome trace: {trace_path} ({len(profiler.spans)} spans)")
 
     metrics = dict(report.to_metrics())
-    metrics["launches"] = (
-        simulator.sample_ctx.launch_count() + simulator.io_ctx.launch_count()
+    metrics["launches"] = sum(
+        replica.sample_ctx.launch_count() + replica.io_ctx.launch_count()
+        for replica in simulator.replicas
     )
     meta = {
         "algorithm": args.algorithm,
@@ -645,6 +737,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "cache_ratio": cache_ratio,
         "seed": args.seed,
     }
+    if args.replicas > 1:
+        meta["replicas"] = args.replicas
+        meta["router"] = args.router
+        meta["partition"] = args.partition
+        meta["link"] = simulator.link.name if simulator.link else "none"
+        if args.max_seeds_per_request is not None:
+            meta["max_seeds_per_request"] = args.max_seeds_per_request
     record_path = bench_path(out_dir, tag)
     record, previous = append_record(
         record_path, tag=tag, meta=meta, metrics=metrics

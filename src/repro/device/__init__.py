@@ -15,6 +15,13 @@ from repro.device.context import (
     NullContext,
     QueueTimeline,
 )
+from repro.device.interconnect import (
+    NVLINK,
+    PCIE,
+    LinkSpec,
+    default_link_for,
+    get_link,
+)
 from repro.device.memory import Allocation, MemoryPool
 from repro.device.spec import CPU, GB, T4, V100, DeviceSpec, get_device
 
@@ -22,14 +29,19 @@ __all__ = [
     "CPU",
     "GB",
     "NULL_CONTEXT",
+    "NVLINK",
+    "PCIE",
     "T4",
     "V100",
     "Allocation",
     "DeviceSpec",
     "ExecutionContext",
     "KernelLaunch",
+    "LinkSpec",
     "MemoryPool",
     "NullContext",
     "QueueTimeline",
+    "default_link_for",
     "get_device",
+    "get_link",
 ]

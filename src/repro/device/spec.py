@@ -153,7 +153,14 @@ _REGISTRY = {spec.name: spec for spec in (V100, T4, CPU)}
 
 
 def get_device(name: str) -> DeviceSpec:
-    """Look up a built-in device spec by name (``v100``, ``t4``, ``cpu``)."""
+    """Look up a built-in device spec by name (``v100``, ``t4``, ``cpu``).
+
+    Each device is registered alongside a default interconnect for
+    multi-device deployments (`repro.device.interconnect`): V100s pair
+    over NVLink, T4 and CPU over PCIe.  Use
+    :func:`~repro.device.interconnect.default_link_for` (same name
+    lookup) for the matching :class:`~repro.device.interconnect.LinkSpec`.
+    """
     try:
         return _REGISTRY[name.lower()]
     except KeyError:

@@ -1,0 +1,32 @@
+"""Graph partitioning for sharded (multi-replica) serving.
+
+``repro.partition`` assigns every node to one of ``k`` shards so a
+serving cluster can give each replica its own slice of the graph.  The
+shard-affinity router (`repro.serve.router`) sends each request to the
+replica owning its seed nodes; the partition's edge cut then predicts
+how much sampled frontier crosses the simulated interconnect
+(`repro.device.interconnect`).
+
+See :mod:`repro.partition.partitioners` for the hash and degree-balanced
+greedy edge-cut methods and the :class:`ShardView` replicas hold.
+"""
+
+from repro.partition.partitioners import (
+    PARTITION_METHODS,
+    GraphPartition,
+    ShardView,
+    greedy_partition,
+    hash_assignment,
+    hash_partition,
+    make_partition,
+)
+
+__all__ = [
+    "PARTITION_METHODS",
+    "GraphPartition",
+    "ShardView",
+    "greedy_partition",
+    "hash_assignment",
+    "hash_partition",
+    "make_partition",
+]

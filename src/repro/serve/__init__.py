@@ -1,42 +1,66 @@
-"""Online serving subsystem: request queues, dynamic batching, SLOs.
+"""Online serving subsystem: replicas, routers, clusters, SLOs.
 
 The offline pipeline (``repro.pipeline``) amortizes per-launch overhead
 by construction — every epoch is a fixed batch schedule.  An online
 service must make the same trade *dynamically*: coalesce enough queued
 requests to keep the device busy without letting the oldest request's
 latency blow through its SLO.  This package simulates that loop on the
-device simulator's clock:
+device simulator's clock, for one replica or a routed cluster of them:
 
 * :mod:`repro.serve.workload` — seeded arrival processes (Poisson,
   bursty, diurnal) and skew-drawn per-request seed sets;
-* :mod:`repro.serve.simulator` — the dynamic batcher
+* :mod:`repro.serve.replica` — one replica: the dynamic batcher
   (max-batch/max-wait), bounded-queue admission control, the SLO-aware
-  degradation ladder (reduced fanout, then cached-only features), and
-  batch service on the ``sample``/``transfer`` device queues;
+  degradation ladder (reduced fanout, then cached-only features), batch
+  service on the ``sample``/``transfer`` device queues, and optionally
+  a graph shard + interconnect for cross-shard frontier fetches;
+* :mod:`repro.serve.router` — request routing across replicas
+  (round-robin, join-shortest-queue, power-of-two-choices,
+  shard-affinity), all deterministic under the session seed;
+* :mod:`repro.serve.cluster` — N replicas advanced in global
+  simulated-time order behind one router, aggregated into a cluster
+  report with per-replica and cross-shard-traffic breakdowns;
+* :mod:`repro.serve.simulator` — the classic single-replica surface
+  (:class:`ServeSimulator`, :func:`run_serve_session`), kept
+  bit-identical to the pre-cluster subsystem;
 * :mod:`repro.serve.metrics` — the per-request log and the aggregate
   report (throughput, p50/p95/p99, batch histogram, shed/degraded
-  counts, cache hit rate).
+  counts, cache hit rate, cross-shard link traffic).
 
-CLI: ``gsampler-repro serve --arrival-rate ... --slo-ms ... --max-batch
-... --policy full``.  Every observable is deterministic in the workload
-spec and simulator seed.
+CLI: ``gsampler-repro serve --arrival-rate ... --slo-ms ... --replicas 4
+--router jsq --partition greedy``.  Every observable is deterministic in
+the workload spec, topology, and simulator seed.
 """
 
+from repro.serve.cluster import ClusterSimulator, run_cluster_session
 from repro.serve.metrics import (
     LATENCY_PERCENTILES,
+    ReplicaStats,
     RequestLog,
     ServeReport,
+    replica_breakdown,
     summarize,
 )
-from repro.serve.simulator import (
+from repro.serve.replica import (
     MAX_DEGRADE_LEVEL,
     POLICY_PRESETS,
     SERVE_CONFIGS,
+    Replica,
     ServePolicy,
-    ServeSimulator,
+    build_pipelines,
     degraded_kwargs,
-    run_serve_session,
+    replica_rng,
 )
+from repro.serve.router import (
+    ROUTER_POLICIES,
+    JoinShortestQueueRouter,
+    PowerOfTwoRouter,
+    RoundRobinRouter,
+    Router,
+    ShardAffinityRouter,
+    make_router,
+)
+from repro.serve.simulator import ServeSimulator, run_serve_session
 from repro.serve.workload import (
     ARRIVAL_PROCESSES,
     Request,
@@ -51,17 +75,31 @@ __all__ = [
     "LATENCY_PERCENTILES",
     "MAX_DEGRADE_LEVEL",
     "POLICY_PRESETS",
+    "ROUTER_POLICIES",
+    "ClusterSimulator",
+    "JoinShortestQueueRouter",
+    "PowerOfTwoRouter",
+    "Replica",
+    "ReplicaStats",
     "Request",
     "RequestLog",
+    "RoundRobinRouter",
+    "Router",
     "SERVE_CONFIGS",
     "ServePolicy",
     "ServeReport",
     "ServeSimulator",
+    "ShardAffinityRouter",
     "WorkloadSpec",
     "arrival_times",
+    "build_pipelines",
     "degraded_kwargs",
     "generate_workload",
+    "make_router",
     "rank_probabilities",
+    "replica_breakdown",
+    "replica_rng",
+    "run_cluster_session",
     "run_serve_session",
     "summarize",
 ]

@@ -1,0 +1,260 @@
+"""The cluster layer: N replicas behind a router on one simulated clock.
+
+A :class:`ClusterSimulator` owns N :class:`~repro.serve.replica.Replica`
+instances (each with its own execution-context pair, memory pool, and
+feature cache) and a :class:`~repro.serve.router.Router`.  Its event loop
+advances the whole cluster in **global simulated-time order**:
+
+1. arrivals are visited in ``(arrival, rid)`` order;
+2. before routing an arrival at time ``t``, *every* replica fires the
+   batches due strictly before ``t`` (so queue-depth policies observe
+   the same state a real balancer would — not stale snapshots);
+3. the router picks a replica; the replica admits or sheds;
+4. after the last arrival, all replicas drain.
+
+Replica timelines never interact through device queues — each replica is
+its own device — so this ordering is exact, not an approximation: a
+replica's batch outcomes depend only on the requests routed to it.
+
+With a graph partition, replica ``i`` owns shard ``i``; frontier nodes a
+replica samples outside its shard are fetched from their owners over the
+configured :class:`~repro.device.LinkSpec` (NVLink for V100 clusters,
+PCIe otherwise) and surface in the report as cross-shard traffic.
+
+A 1-replica round-robin cluster replays the pre-refactor monolithic
+simulator decision-for-decision — the fingerprint-compat test holds
+``run_serve_session`` to that, bit-identically.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from repro.cache import DEFAULT_CACHE_RATIO, CacheStats
+from repro.datasets import Dataset
+from repro.device import DeviceSpec, LinkSpec, default_link_for, get_link
+from repro.errors import ServeError
+from repro.partition import GraphPartition, make_partition
+from repro.profile.spans import Profiler
+from repro.serve.metrics import ServeReport, replica_breakdown, summarize
+from repro.serve.replica import (
+    Replica,
+    ServePolicy,
+    build_pipelines,
+)
+from repro.serve.router import Router, make_router
+from repro.serve.workload import Request, WorkloadSpec, generate_workload
+
+
+class ClusterSimulator:
+    """N serving replicas behind a router, on one simulated clock.
+
+    Parameters
+    ----------
+    dataset, algorithm, device, policy, cache_ratio, seed, profiler:
+        As for :class:`~repro.serve.replica.Replica`; every replica gets
+        the same policy and its own cache/contexts.  ``seed`` derives
+        each replica's independent RNG stream (replica 0 keeps the
+        session stream — the single-replica compatibility guarantee).
+    num_replicas:
+        Serving replicas to run (>= 1).
+    router:
+        A policy name from :data:`~repro.serve.router.ROUTER_POLICIES`
+        or a pre-built :class:`~repro.serve.router.Router`.
+    partition:
+        ``None`` (unpartitioned: every replica holds the whole graph), a
+        partitioner name (``hash``/``greedy``; one shard per replica),
+        or a pre-built :class:`~repro.partition.GraphPartition` with
+        ``num_shards == num_replicas``.
+    link:
+        Interconnect for cross-shard frontier fetches: a name
+        (``nvlink``/``pcie``), a :class:`~repro.device.LinkSpec`, or
+        ``None`` for the device's default wiring (V100 -> NVLink).
+        Only meaningful with a partition.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        *,
+        algorithm: str = "graphsage",
+        device: DeviceSpec,
+        policy: ServePolicy | None = None,
+        num_replicas: int = 1,
+        router: str | Router = "round_robin",
+        partition: str | GraphPartition | None = None,
+        link: str | LinkSpec | None = None,
+        cache_ratio: float = DEFAULT_CACHE_RATIO,
+        seed: int = 0,
+        profiler: Profiler | None = None,
+    ) -> None:
+        if num_replicas < 1:
+            raise ServeError(
+                f"cluster needs at least one replica, got {num_replicas}"
+            )
+        self.dataset = dataset
+        self.algorithm = algorithm
+        self.device = device
+        self.policy = policy if policy is not None else ServePolicy()
+        self.profiler = profiler
+        if isinstance(partition, str):
+            partition = make_partition(
+                partition, dataset.graph, num_replicas, seed=seed
+            )
+        if partition is not None and partition.num_shards != num_replicas:
+            raise ServeError(
+                f"partition has {partition.num_shards} shards but the "
+                f"cluster has {num_replicas} replicas (one shard per "
+                "replica)"
+            )
+        self.partition = partition
+        if isinstance(link, str):
+            link = get_link(link)
+        if link is None and partition is not None:
+            link = default_link_for(device.name)
+        self.link = link
+        self.router = (
+            router
+            if isinstance(router, Router)
+            else make_router(router, seed=seed, partition=partition)
+        )
+        # One compile, shared by every replica: pipelines are stateless
+        # with respect to the execution context.
+        pipelines = build_pipelines(dataset, algorithm)
+        self.replicas = [
+            Replica(
+                dataset,
+                algorithm=algorithm,
+                device=device,
+                policy=self.policy,
+                cache_ratio=cache_ratio,
+                seed=seed,
+                profiler=profiler,
+                replica_id=i,
+                pipelines=pipelines,
+                queue_prefix=f"r{i}:" if num_replicas > 1 else "",
+                shard=partition.view(i) if partition is not None else None,
+                link=link if partition is not None else None,
+            )
+            for i in range(num_replicas)
+        ]
+
+    # ------------------------------------------------------------------
+    @property
+    def num_replicas(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def sample_ctx(self):
+        """Replica 0's sampling context (single-replica compatibility)."""
+        return self.replicas[0].sample_ctx
+
+    @property
+    def io_ctx(self):
+        """Replica 0's I/O context (single-replica compatibility)."""
+        return self.replicas[0].io_ctx
+
+    @property
+    def cache(self):
+        """Replica 0's feature cache (single-replica compatibility)."""
+        return self.replicas[0].cache
+
+    def build_workload(self, spec: WorkloadSpec) -> list[Request]:
+        """Generate the spec's request stream over this graph's nodes."""
+        return generate_workload(
+            spec,
+            num_nodes=self.dataset.num_nodes,
+            hotness=self.replicas[0].degree_hotness(),
+        )
+
+    def _span(self, name: str, category: str, **attrs: object):
+        if self.profiler is None:
+            return contextlib.nullcontext()
+        return self.profiler.span(name, category, **attrs)
+
+    # ------------------------------------------------------------------
+    def run(self, requests: list[Request]) -> ServeReport:
+        """Serve the whole stream across the cluster; aggregate report.
+
+        The log list is kept in global arrival order (the order arrivals
+        were routed), so the cluster fingerprint is the same shape as a
+        single replica's and the 1-replica case is bit-identical to the
+        pre-refactor monolith.
+        """
+        ordered = sorted(requests, key=lambda r: (r.arrival, r.rid))
+        logs = []
+        with self._span("serve_session", "serve", requests=len(ordered)):
+            for request in ordered:
+                for replica in self.replicas:
+                    replica.advance_until(request.arrival)
+                target = self.router.route(
+                    request, self.replicas, request.arrival
+                )
+                if not 0 <= target < len(self.replicas):
+                    raise ServeError(
+                        f"router {self.router.name!r} returned replica "
+                        f"{target} of {len(self.replicas)}"
+                    )
+                logs.append(self.replicas[target].offer(request))
+            for replica in self.replicas:
+                replica.drain()
+        report = summarize(
+            logs,
+            cache=CacheStats.merged(
+                [
+                    r.cache.epoch_stats() if r.cache is not None else None
+                    for r in self.replicas
+                ]
+            ),
+        )
+        report.replicas = self.num_replicas
+        report.router = self.router.name
+        report.per_replica = replica_breakdown(logs, self.replicas)
+        report.cross_shard_rows = sum(
+            r.cross_shard_rows for r in self.replicas
+        )
+        report.cross_shard_bytes = sum(
+            r.cross_shard_bytes for r in self.replicas
+        )
+        report.link_seconds = sum(r.link_seconds for r in self.replicas)
+        return report
+
+
+def run_cluster_session(
+    dataset: Dataset,
+    *,
+    algorithm: str = "graphsage",
+    device: DeviceSpec,
+    spec: WorkloadSpec | None = None,
+    policy: ServePolicy | None = None,
+    num_replicas: int = 1,
+    router: str | Router = "round_robin",
+    partition: str | GraphPartition | None = None,
+    link: str | LinkSpec | None = None,
+    cache_ratio: float = DEFAULT_CACHE_RATIO,
+    seed: int = 0,
+    profiler: Profiler | None = None,
+) -> tuple[ClusterSimulator, ServeReport]:
+    """One-call cluster session: build, generate workload, serve, report.
+
+    This is the cell the CLI, the cluster benchmark, and the determinism
+    guards all go through, so a fixed (spec, policy, topology, seed)
+    tuple names exactly one reproducible session.
+    """
+    cluster = ClusterSimulator(
+        dataset,
+        algorithm=algorithm,
+        device=device,
+        policy=policy,
+        num_replicas=num_replicas,
+        router=router,
+        partition=partition,
+        link=link,
+        cache_ratio=cache_ratio,
+        seed=seed,
+        profiler=profiler,
+    )
+    workload = cluster.build_workload(
+        spec if spec is not None else WorkloadSpec(seed=seed)
+    )
+    return cluster, cluster.run(workload)

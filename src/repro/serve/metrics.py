@@ -13,9 +13,13 @@ Latency accounting follows the standard serving decomposition:
   a refused request is an availability loss (counted separately), not a
   latency sample.
 
-Everything here is pure NumPy over the deterministic request log, so a
-fixed seed reproduces every percentile bit-for-bit (the determinism
-guard's second half).
+All percentile math lives in :mod:`repro.stats` (shared with the bench
+scripts and the replicas' SLO monitors), applied here over the
+deterministic request log, so a fixed seed reproduces every percentile
+bit-for-bit (the determinism guard's second half).  The same
+:func:`summarize` fold serves both a single replica's log and the
+cluster's merged, arrival-ordered log; :func:`replica_breakdown` slices
+the merged log back into per-replica :class:`ReplicaStats`.
 """
 
 from __future__ import annotations
@@ -27,9 +31,17 @@ from collections import Counter
 import numpy as np
 
 from repro.cache import CacheStats
+from repro.stats import LATENCY_PERCENTILES, percentile_ms
 
-#: Percentiles reported by :func:`summarize`.
-LATENCY_PERCENTILES = (50.0, 95.0, 99.0)
+__all__ = [
+    "LATENCY_PERCENTILES",
+    "ReplicaStats",
+    "RequestLog",
+    "ServeReport",
+    "percentile_ms",
+    "replica_breakdown",
+    "summarize",
+]
 
 
 @dataclasses.dataclass
@@ -46,6 +58,10 @@ class RequestLog:
     #: Degradation-ladder level the request was served at (0 = full
     #: fidelity); for shed requests, the level in force when refused.
     level: int = 0
+    #: Replica the router sent the request to (0 for single-replica
+    #: sessions).  Deliberately outside :meth:`key`: the fingerprint
+    #: predates the cluster layer and must stay comparable across it.
+    replica: int = 0
 
     @property
     def completed(self) -> bool:
@@ -74,8 +90,28 @@ class RequestLog:
 
 
 @dataclasses.dataclass
+class ReplicaStats:
+    """One replica's share of a cluster serving session."""
+
+    replica_id: int
+    requests: int
+    completed: int
+    shed: int
+    degraded: int
+    p50_ms: float
+    p99_ms: float
+    mean_batch: float
+    #: Frontier rows this replica pulled from other shards' devices.
+    cross_shard_rows: int
+    cross_shard_bytes: int
+    #: Simulated seconds spent on the interconnect for those rows.
+    link_seconds: float
+    cache: CacheStats | None
+
+
+@dataclasses.dataclass
 class ServeReport:
-    """Aggregate outcome of one serving session."""
+    """Aggregate outcome of one serving session (replica or cluster)."""
 
     requests: int
     completed: int
@@ -96,6 +132,15 @@ class ServeReport:
     batch_histogram: dict[int, int]
     cache: CacheStats | None
     logs: list[RequestLog]
+    #: Cluster shape: 1 for the classic single-replica session.  The
+    #: fields below stay at their defaults there, so the report (and its
+    #: fingerprint) is unchanged from the pre-cluster subsystem.
+    replicas: int = 1
+    router: str = ""
+    per_replica: list[ReplicaStats] = dataclasses.field(default_factory=list)
+    cross_shard_rows: int = 0
+    cross_shard_bytes: int = 0
+    link_seconds: float = 0.0
 
     @property
     def shed_rate(self) -> float:
@@ -113,8 +158,13 @@ class ServeReport:
         )
 
     def to_metrics(self) -> dict[str, float]:
-        """Flat metric dict for the ``BENCH_serve_*`` trajectory record."""
-        return {
+        """Flat metric dict for the ``BENCH_serve_*`` trajectory record.
+
+        Cluster sessions append their own keys; the single-replica dict
+        is byte-for-byte what the pre-cluster subsystem recorded, so the
+        committed ``BENCH_serve_*`` trajectory stays comparable.
+        """
+        metrics = {
             "sim_seconds": self.makespan,
             "throughput_rps": self.throughput_rps,
             "p50_ms": self.p50_ms,
@@ -127,13 +177,12 @@ class ServeReport:
             "degraded": float(self.degraded),
             "cache_hit_rate": self.cache.hit_rate if self.cache else 0.0,
         }
-
-
-def percentile_ms(latencies: np.ndarray, q: float) -> float:
-    """The ``q``-th percentile of ``latencies`` (seconds), in ms."""
-    if latencies.size == 0:
-        return 0.0
-    return float(np.percentile(latencies, q)) * 1e3
+        if self.replicas > 1:
+            metrics["replicas"] = float(self.replicas)
+            metrics["cross_shard_rows"] = float(self.cross_shard_rows)
+            metrics["cross_shard_bytes"] = float(self.cross_shard_bytes)
+            metrics["link_ms"] = self.link_seconds * 1e3
+        return metrics
 
 
 def summarize(
@@ -147,12 +196,13 @@ def summarize(
     )
     makespan = max((log.completion for log in done), default=0.0)
     # Per-batch histogram: each batch contributes once, not once per
-    # member request.
+    # member request.  Batch ids are per-replica, so the batch identity
+    # is the (replica, batch_id) pair.
     batches: Counter[int] = Counter()
-    seen: set[int] = set()
+    seen: set[tuple[int, int]] = set()
     for log in done:
-        if log.batch_id >= 0 and log.batch_id not in seen:
-            seen.add(log.batch_id)
+        if log.batch_id >= 0 and (log.replica, log.batch_id) not in seen:
+            seen.add((log.replica, log.batch_id))
             batches[log.batch_size] += 1
     total_batches = sum(batches.values())
     return ServeReport(
@@ -180,3 +230,50 @@ def summarize(
         cache=cache,
         logs=logs,
     )
+
+
+def replica_breakdown(
+    logs: list[RequestLog], replicas: list
+) -> list[ReplicaStats]:
+    """Per-replica stats from the cluster's merged request log.
+
+    ``replicas`` supplies the non-log state (cross-shard counters and
+    cache snapshots); the latency columns come from slicing the merged
+    log by the router's assignments and reusing the shared percentile
+    helpers, so the cluster table and the aggregate report can never
+    disagree about the math.
+    """
+    out = []
+    for replica in replicas:
+        rid = replica.replica_id
+        mine = [log for log in logs if log.replica == rid]
+        done = [log for log in mine if log.completed]
+        latencies = np.array([log.latency for log in done], dtype=np.float64)
+        batch_sizes = {
+            (log.batch_id, log.batch_size) for log in done if log.batch_id >= 0
+        }
+        out.append(
+            ReplicaStats(
+                replica_id=rid,
+                requests=len(mine),
+                completed=len(done),
+                shed=sum(1 for log in mine if not log.admitted),
+                degraded=sum(1 for log in done if log.level > 0),
+                p50_ms=percentile_ms(latencies, 50.0),
+                p99_ms=percentile_ms(latencies, 99.0),
+                mean_batch=(
+                    sum(size for _, size in batch_sizes) / len(batch_sizes)
+                    if batch_sizes
+                    else 0.0
+                ),
+                cross_shard_rows=replica.cross_shard_rows,
+                cross_shard_bytes=replica.cross_shard_bytes,
+                link_seconds=replica.link_seconds,
+                cache=(
+                    replica.cache.epoch_stats()
+                    if replica.cache is not None
+                    else None
+                ),
+            )
+        )
+    return out

@@ -1,0 +1,512 @@
+"""One serving replica: batcher, admission, ladder, device contexts.
+
+This is the single-replica serving loop extracted from the original
+monolithic ``ServeSimulator`` so a cluster can run N of them side by
+side.  A :class:`Replica` owns everything one serving process would:
+
+* its own pair of :class:`~repro.device.ExecutionContext`\\ s (sampling
+  on the ``sample`` queue, host-resident feature I/O on ``transfer``),
+* its own :class:`~repro.cache.FeatureCache` charged to its own pool,
+* the dynamic batcher (max_batch/max_wait), bounded-queue admission,
+  and the SLO-aware degradation ladder,
+* optionally a :class:`~repro.partition.ShardView` plus a
+  :class:`~repro.device.LinkSpec`: the shard of the graph this replica
+  owns, and the interconnect over which frontier nodes sampled outside
+  that shard are fetched from their owners.
+
+Unlike the old monolith, the replica exposes an *incremental* event
+API — :meth:`offer` (admit or shed one arrival), :meth:`advance_until`
+(fire every batch due strictly before a timestamp), and :meth:`drain`
+(fire everything left) — so a cluster simulator can interleave N
+replicas in global simulated-time order.  Driving a single replica with
+that API replays the exact decision sequence of the original loop, which
+is what keeps the 1-replica cluster bit-identical to the pre-refactor
+simulator (the fingerprint-compat test).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+
+import numpy as np
+
+from repro.cache import DEFAULT_CACHE_RATIO, FeatureCache
+from repro.datasets import Dataset
+from repro.device import DeviceSpec, ExecutionContext, LinkSpec
+from repro.errors import ServeError
+from repro.partition import ShardView
+from repro.profile.spans import Profiler
+from repro.serve.metrics import RequestLog
+from repro.serve.workload import Request, WorkloadSpec, generate_workload
+from repro.stats import SlidingWindow
+
+#: Degradation-ladder depth: 0 = full fidelity, 1 = reduced fanout,
+#: 2 = reduced fanout + cached-only features.
+MAX_DEGRADE_LEVEL = 2
+
+#: Algorithm configurations the serving simulator knows how to build,
+#: mapping to ``make_algorithm`` kwargs at full fidelity.  The degraded
+#: variant is derived by :func:`degraded_kwargs`.
+SERVE_CONFIGS: dict[str, dict] = {
+    "graphsage": dict(fanouts=(5, 10)),
+    "ladies": dict(layer_width=256, num_layers=2),
+}
+
+#: Admission/degradation presets selectable from the CLI ``--policy``
+#: flag; each maps to (bounded queue?, SLO ladder?).
+POLICY_PRESETS: dict[str, tuple[bool, bool]] = {
+    "none": (False, False),
+    "shed": (True, False),
+    "degrade": (False, True),
+    "full": (True, True),
+}
+
+
+def degraded_kwargs(kwargs: dict) -> dict:
+    """The reduced-fidelity variant of an algorithm config.
+
+    Fanouts are halved (floored at 1), layer widths halved — the ladder
+    step the issue's K=10 -> 5 example describes.
+    """
+    out = dict(kwargs)
+    if "fanouts" in out:
+        out["fanouts"] = tuple(max(1, k // 2) for k in out["fanouts"])
+    if "layer_width" in out:
+        out["layer_width"] = max(1, out["layer_width"] // 2)
+    return out
+
+
+def build_pipelines(dataset: Dataset, algorithm: str) -> list:
+    """Compile the full-fidelity and degraded pipelines for ``algorithm``.
+
+    Both are compiled up front so ladder moves cost nothing at serve
+    time.  Pipelines are stateless with respect to the execution context
+    (``sample_batch`` takes ``ctx=``), so a cluster compiles once and
+    shares the pair across all replicas.
+    """
+    from repro.algorithms import make_algorithm
+
+    if algorithm not in SERVE_CONFIGS:
+        raise ServeError(
+            f"no serving config for {algorithm!r}; "
+            f"available: {sorted(SERVE_CONFIGS)}"
+        )
+    example = dataset.train_ids[: min(256, len(dataset.train_ids))]
+    kwargs = SERVE_CONFIGS[algorithm]
+    return [
+        make_algorithm(algorithm, **kwargs).build(dataset.graph, example),
+        make_algorithm(algorithm, **degraded_kwargs(kwargs)).build(
+            dataset.graph, example
+        ),
+    ]
+
+
+def replica_rng(seed: int, replica_id: int) -> np.random.Generator:
+    """Replica ``i``'s sampling RNG, derived from the session seed.
+
+    Replica 0 uses the session seed's stream directly — bit-identical to
+    the pre-refactor single-replica simulator.  Higher replicas spawn
+    independent streams off the same entropy via the seed-sequence spawn
+    key, so no two replicas share draws and no ``numpy.random`` global
+    state is ever touched.
+    """
+    if replica_id == 0:
+        return np.random.default_rng(seed)
+    return np.random.default_rng(
+        np.random.SeedSequence(seed, spawn_key=(replica_id,))
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class ServePolicy:
+    """Batching + admission + degradation knobs for one serving session."""
+
+    max_batch: int = 8
+    #: Longest a batch head may wait before firing, in simulated seconds.
+    max_wait: float = 2e-3
+    #: Bound on the waiting queue; ``None`` disables shedding.
+    queue_capacity: int | None = 64
+    #: p99 latency target in simulated seconds; ``None`` disables the
+    #: degradation ladder.
+    slo: float | None = None
+    #: Sliding-window length (completed requests) for the p99 monitor.
+    window: int = 64
+    #: Samples required in the window before the ladder may move.
+    min_samples: int = 32
+    #: The ladder steps back up once windowed p99 < recover_margin * slo.
+    recover_margin: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ServeError(
+                f"max batch must be at least 1, got {self.max_batch}"
+            )
+        if self.max_wait < 0.0:
+            raise ServeError(
+                f"max wait must be non-negative, got {self.max_wait}"
+            )
+        if self.queue_capacity is not None and self.queue_capacity < 1:
+            raise ServeError(
+                "queue capacity must be at least 1 (or None for "
+                f"unbounded), got {self.queue_capacity}"
+            )
+        if self.slo is not None and self.slo <= 0.0:
+            raise ServeError(f"SLO must be positive, got {self.slo}")
+        if not 0.0 < self.recover_margin < 1.0:
+            raise ServeError(
+                f"recover margin must be in (0, 1), got {self.recover_margin}"
+            )
+        if self.window < 1 or self.min_samples < 1:
+            raise ServeError("p99 window and min_samples must be positive")
+
+    @classmethod
+    def preset(
+        cls,
+        name: str,
+        *,
+        max_batch: int = 8,
+        max_wait: float = 2e-3,
+        queue_capacity: int = 64,
+        slo: float | None = None,
+    ) -> "ServePolicy":
+        """Build a policy from a ``--policy`` preset name."""
+        try:
+            shed, degrade = POLICY_PRESETS[name]
+        except KeyError:
+            raise ServeError(
+                f"unknown policy {name!r}; available: "
+                f"{sorted(POLICY_PRESETS)}"
+            ) from None
+        if degrade and slo is None:
+            raise ServeError(
+                f"policy {name!r} needs an SLO target (--slo-ms)"
+            )
+        return cls(
+            max_batch=max_batch,
+            max_wait=max_wait,
+            queue_capacity=queue_capacity if shed else None,
+            slo=slo if degrade else None,
+        )
+
+
+class Replica:
+    """One serving replica with its own device contexts and cache.
+
+    Parameters
+    ----------
+    dataset:
+        The graph being served; seeds index its nodes.
+    algorithm:
+        A :data:`SERVE_CONFIGS` key (used when ``pipelines`` is omitted).
+    device:
+        Device spec for sampling *and* feature transfer.  The feature
+        table itself is host-resident (the serving deployment), so cache
+        misses cross PCIe; the cache's pinned rows are charged to the
+        I/O context's memory pool.
+    policy:
+        Batching/admission/degradation knobs.
+    cache_ratio:
+        Fraction of nodes whose feature rows are pinned on device.
+    seed:
+        Session seed; replica ``replica_id`` derives its own RNG stream
+        from it (:func:`replica_rng`).
+    replica_id:
+        Position of this replica in its cluster (0 for standalone).
+    pipelines:
+        Pre-compiled ``[full, degraded]`` pipeline pair shared across a
+        cluster; compiled here when omitted.
+    queue_prefix:
+        Prefix for the device queue names (``"r1:"`` in a cluster), so
+        each replica's timelines render as its own thread-row group in
+        the Chrome trace.  Empty for standalone/1-replica use, keeping
+        the original ``sample``/``transfer`` names.
+    shard:
+        The :class:`~repro.partition.ShardView` this replica owns, when
+        the cluster is graph-partitioned.
+    link:
+        Interconnect over which frontier nodes sampled outside ``shard``
+        are fetched from the owning replica's device.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        *,
+        algorithm: str = "graphsage",
+        device: DeviceSpec,
+        policy: ServePolicy | None = None,
+        cache_ratio: float = DEFAULT_CACHE_RATIO,
+        seed: int = 0,
+        profiler: Profiler | None = None,
+        replica_id: int = 0,
+        pipelines: list | None = None,
+        queue_prefix: str = "",
+        shard: ShardView | None = None,
+        link: LinkSpec | None = None,
+    ) -> None:
+        if shard is not None and link is None:
+            raise ServeError(
+                "a sharded replica needs an interconnect link to fetch "
+                "remote frontier rows over"
+            )
+        self.dataset = dataset
+        self.algorithm = algorithm
+        self.device = device
+        self.policy = policy if policy is not None else ServePolicy()
+        self.profiler = profiler
+        self.replica_id = replica_id
+        self.shard = shard
+        self.link = link
+        self._rng = replica_rng(seed, replica_id)
+        self._pipelines = (
+            pipelines
+            if pipelines is not None
+            else build_pipelines(dataset, algorithm)
+        )
+        self._sample_queue = f"{queue_prefix}sample"
+        self._transfer_queue = f"{queue_prefix}transfer"
+        #: True when part of a multi-replica cluster; batch spans then
+        #: carry the replica id (standalone spans stay byte-identical to
+        #: the pre-refactor trace).
+        self._labelled = bool(queue_prefix)
+        self.sample_ctx = ExecutionContext(
+            device,
+            graph_on_device=dataset.graph_on_device,
+            queues=(self._sample_queue,),
+        )
+        # Feature fetches run on their own context with a host-resident
+        # "graph" (= the feature table), so misses are priced over PCIe.
+        self.io_ctx = ExecutionContext(
+            device, graph_on_device=False, queues=(self._transfer_queue,)
+        )
+        if profiler is not None:
+            # The first replica's sampling ledger doubles as the
+            # profiler's simulated clock (the pre-refactor behavior);
+            # later replicas just mirror their launches into spans.
+            if profiler.context is None:
+                profiler.attach(self.sample_ctx)
+            else:
+                self.sample_ctx.profiler = profiler
+            self.io_ctx.profiler = profiler
+        self.cache: FeatureCache | None = None
+        if cache_ratio > 0.0:
+            self.cache = FeatureCache.from_dataset(
+                dataset, ratio=cache_ratio, pool=self.io_ctx.memory
+            )
+        feats = dataset.features
+        self._row_bytes = int(feats.shape[1]) * feats.dtype.itemsize
+        # Degradation-ladder state.
+        self._level = 0
+        self._latency_window = SlidingWindow(self.policy.window)
+        # Batcher state (the incremental event API's working set).
+        self._pending: list[Request] = []
+        self._by_rid: dict[int, RequestLog] = {}
+        self._batch_id = 0
+        # Completion times of fired-but-unfinished requests, for the
+        # load-balancing signal (:meth:`outstanding`).
+        self._in_flight: list[float] = []
+        # Cross-shard accounting (stays zero without a shard).
+        self.cross_shard_rows = 0
+        self.cross_shard_bytes = 0
+        self.link_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    def degree_hotness(self) -> np.ndarray:
+        """Per-node in-degree, the hotness ranking requests are drawn by."""
+        return np.diff(self.dataset.graph.get("csc").indptr)
+
+    def build_workload(self, spec: WorkloadSpec) -> list[Request]:
+        """Generate the spec's request stream over this graph's nodes."""
+        return generate_workload(
+            spec,
+            num_nodes=self.dataset.num_nodes,
+            hotness=self.degree_hotness(),
+        )
+
+    # ------------------------------------------------------------------
+    def _span(self, name: str, category: str, **attrs: object):
+        if self.profiler is None:
+            return contextlib.nullcontext()
+        return self.profiler.span(name, category, **attrs)
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting in this replica's batcher queue."""
+        return len(self._pending)
+
+    def outstanding(self, now: float) -> int:
+        """Requests queued *or in service* at ``now`` — the load signal.
+
+        Batches fire ahead of the arrival being routed, so the batcher
+        queue alone is a stale signal (usually zero everywhere); what a
+        real balancer tracks is outstanding requests — dispatched but
+        not yet answered.  Counts the waiting queue plus every fired
+        request whose batch completes after ``now``.
+        """
+        if self._in_flight:
+            self._in_flight = [t for t in self._in_flight if t > now]
+        return len(self._pending) + len(self._in_flight)
+
+    def offer(self, request: Request) -> RequestLog:
+        """Admit ``request`` into the waiting queue, or shed it.
+
+        Returns the request's log either way, so the caller (the cluster
+        or the single-replica loop) can keep one global-arrival-order
+        log list across replicas.
+        """
+        capacity = self.policy.queue_capacity
+        if capacity is not None and len(self._pending) >= capacity:
+            return RequestLog(
+                rid=request.rid,
+                arrival=request.arrival,
+                admitted=False,
+                level=self._level,
+                replica=self.replica_id,
+            )
+        log = RequestLog(
+            rid=request.rid,
+            arrival=request.arrival,
+            admitted=True,
+            replica=self.replica_id,
+        )
+        self._pending.append(request)
+        self._by_rid[request.rid] = log
+        return log
+
+    def next_fire_time(self) -> float | None:
+        """When the head batch would fire; ``None`` with an empty queue.
+
+        A full batch fires as soon as the sampling queue is free — but
+        no earlier than its youngest member arrived (the member that
+        completed the batch may have landed after the device went idle).
+        A partial batch waits out ``max_wait`` from its head's arrival.
+        """
+        if not self._pending:
+            return None
+        policy = self.policy
+        head = self._pending[0]
+        sample_q = self.sample_ctx.queue(self._sample_queue)
+        earliest = max(sample_q.ready, head.arrival)
+        if len(self._pending) >= policy.max_batch:
+            return max(
+                earliest, self._pending[policy.max_batch - 1].arrival
+            )
+        return max(earliest, head.arrival + policy.max_wait)
+
+    def fire_next_batch(self) -> float:
+        """Coalesce and serve the head batch; returns its fire time."""
+        fire = self.next_fire_time()
+        if fire is None:
+            raise ServeError("no pending requests to fire")
+        batch = self._pending[: self.policy.max_batch]
+        del self._pending[: len(batch)]
+        self._serve_batch(batch, fire, self._batch_id)
+        self._batch_id += 1
+        return fire
+
+    def advance_until(self, now: float) -> None:
+        """Fire every batch due strictly before ``now``.
+
+        Strict inequality matters: an arrival landing exactly at a fire
+        time joins the queue first (and the batch, if it has room) —
+        the original monolithic loop's tie-break, preserved so the
+        1-replica cluster is decision-for-decision identical.
+        """
+        while True:
+            fire = self.next_fire_time()
+            if fire is None or fire >= now:
+                return
+            self.fire_next_batch()
+
+    def drain(self) -> None:
+        """Fire every remaining batch (end of the arrival stream)."""
+        while self._pending:
+            self.fire_next_batch()
+
+    # ------------------------------------------------------------------
+    def _observe(self, latency: float) -> None:
+        """Feed one completion into the SLO monitor and move the ladder."""
+        slo = self.policy.slo
+        if slo is None:
+            return
+        window = self._latency_window
+        window.push(latency)
+        if len(window) < self.policy.min_samples:
+            return
+        p99 = window.percentile(99.0)
+        if p99 > slo and self._level < MAX_DEGRADE_LEVEL:
+            self._level += 1
+        elif p99 < self.policy.recover_margin * slo and self._level > 0:
+            self._level -= 1
+
+    def _serve_batch(
+        self, batch: list[Request], fire: float, batch_id: int
+    ) -> None:
+        """Run one coalesced sampler invocation and complete its requests."""
+        level = self._level
+        pipeline = self._pipelines[1 if level >= 1 else 0]
+        seeds = np.concatenate([r.seeds for r in batch])
+        attrs: dict[str, object] = dict(
+            requests=len(batch), seeds=int(seeds.size), level=level
+        )
+        if self._labelled:
+            attrs["replica"] = self.replica_id
+        with self._span(f"serve_batch[{batch_id}]", "serve", **attrs):
+            with self.sample_ctx.on_queue(self._sample_queue, not_before=fire):
+                sample = pipeline.sample_batch(
+                    seeds, ctx=self.sample_ctx, rng=self._rng
+                )
+            sampled_at = self.sample_ctx.queue(self._sample_queue).ready
+            nodes = sample.all_nodes
+            if self.cache is not None:
+                hits, misses = self.cache.record_gather(nodes)
+            else:
+                hits, misses = 0, int(nodes.size)
+            cached_only = level >= MAX_DEGRADE_LEVEL and self.cache is not None
+            # Sharded replica: frontier nodes owned by other shards must
+            # hop the interconnect from their owner's device before the
+            # local feature read.  Cached-only service skips the hop the
+            # same way it skips PCIe — remote misses are answered from
+            # stale/default embeddings.
+            if self.shard is not None and not cached_only:
+                remote = self.shard.remote_count(nodes)
+                if remote > 0:
+                    remote_bytes = remote * self._row_bytes
+                    hop = self.link.transfer_time(remote_bytes)
+                    with self.io_ctx.on_queue(
+                        self._transfer_queue, not_before=sampled_at
+                    ):
+                        self.io_ctx.record(
+                            f"cross_shard_fetch[{self.link.name}]",
+                            tasks=remote,
+                            fixed_seconds=hop,
+                        )
+                    self.cross_shard_rows += remote
+                    self.cross_shard_bytes += remote_bytes
+                    self.link_seconds += hop
+            # Cached-only service reads just the device-resident rows;
+            # misses are answered from stale/default embeddings instead
+            # of crossing PCIe — zero host traffic, smaller reads.
+            rows = hits if cached_only else int(nodes.size)
+            host_rows = 0 if cached_only else misses
+            with self.io_ctx.on_queue(
+                self._transfer_queue, not_before=sampled_at
+            ):
+                self.io_ctx.record(
+                    "serve_feature_fetch",
+                    bytes_read=rows * self._row_bytes,
+                    bytes_written=rows * self._row_bytes,
+                    tasks=max(rows, 1),
+                    graph_bytes=host_rows * self._row_bytes,
+                )
+            completion = self.io_ctx.queue(self._transfer_queue).ready
+        for request in batch:
+            log = self._by_rid[request.rid]
+            log.start = fire
+            log.completion = completion
+            log.batch_id = batch_id
+            log.batch_size = len(batch)
+            log.level = level
+            self._in_flight.append(completion)
+            self._observe(completion - request.arrival)

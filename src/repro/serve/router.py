@@ -1,0 +1,167 @@
+"""Request routers: which replica answers which arrival.
+
+The cluster simulator consults a :class:`Router` once per arrival, in
+global simulated-time order, *after* every replica has fired the batches
+due before that instant — so queue-depth-based policies observe exactly
+the state a real load balancer would.  All policies are deterministic
+under the session seed: the only randomness (power-of-two-choices) draws
+from its own seeded :class:`numpy.random.Generator` stream, never the
+``numpy.random`` globals, which is what the router-determinism tests
+pin.
+
+Policies:
+
+* **round_robin** — arrival ``i`` goes to replica ``i mod N``; the
+  baseline every queueing comparison starts from.
+* **jsq** — join-shortest-queue: the replica with the fewest waiting
+  requests (ties toward the lower replica id).  The optimal-ish policy
+  the cluster benchmark locates the crossover for.
+* **po2** — power-of-two-choices: sample two distinct replicas from the
+  seeded stream, keep the shorter queue.  Most of JSQ's benefit at a
+  fraction of the (real-world) state-synchronization cost.
+* **shard** — shard-affinity: route to the replica owning the request's
+  dominant seed shard (majority vote over the request's seed nodes,
+  ties toward the lower shard).  Keeps sampling local to the owner at
+  the price of ignoring queue imbalance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import new_rng
+from repro.errors import ServeError
+from repro.partition import GraphPartition
+from repro.serve.replica import Replica
+from repro.serve.workload import Request
+
+#: Router policy names understood by :func:`make_router`.
+ROUTER_POLICIES = ("round_robin", "jsq", "po2", "shard")
+
+
+class Router:
+    """Base router: maps one arrival to a replica index."""
+
+    name = "base"
+
+    def route(
+        self, request: Request, replicas: list[Replica], now: float
+    ) -> int:
+        raise NotImplementedError
+
+
+class RoundRobinRouter(Router):
+    """Cycle through replicas in arrival order, ignoring their state."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def route(
+        self, request: Request, replicas: list[Replica], now: float
+    ) -> int:
+        target = self._next % len(replicas)
+        self._next += 1
+        return target
+
+
+class JoinShortestQueueRouter(Router):
+    """Send each arrival to the replica with the fewest outstanding
+    requests (queued plus in service — the
+    :meth:`~repro.serve.replica.Replica.outstanding` signal; the batcher
+    queue alone is stale by routing time, since due batches have already
+    fired).
+
+    Ties break toward the lower replica id, so the choice is a pure
+    function of the observed loads — the invariant the JSQ correctness
+    test asserts (never a strictly more loaded replica than any
+    alternative).
+    """
+
+    name = "jsq"
+
+    def route(
+        self, request: Request, replicas: list[Replica], now: float
+    ) -> int:
+        loads = [replica.outstanding(now) for replica in replicas]
+        return min(range(len(replicas)), key=lambda i: (loads[i], i))
+
+
+class PowerOfTwoRouter(Router):
+    """Sample two distinct replicas, keep the shorter queue.
+
+    The classic load-balancing result: two random choices close most of
+    the gap to full JSQ.  Draws come from this router's own seeded
+    generator, so a fixed seed fixes the whole routing sequence.
+    """
+
+    name = "po2"
+
+    def __init__(self, *, seed: int = 0) -> None:
+        self._rng = new_rng(seed)
+
+    def route(
+        self, request: Request, replicas: list[Replica], now: float
+    ) -> int:
+        n = len(replicas)
+        if n == 1:
+            return 0
+        first, second = self._rng.choice(n, size=2, replace=False)
+        a, b = int(first), int(second)
+        load_a = replicas[a].outstanding(now)
+        load_b = replicas[b].outstanding(now)
+        if load_a == load_b:
+            return min(a, b)
+        return a if load_a < load_b else b
+
+
+class ShardAffinityRouter(Router):
+    """Route each request to the replica owning its dominant seed shard.
+
+    The dominant shard is the one holding the most of the request's seed
+    nodes (ties toward the lower shard id — deterministic).  Shard ``s``
+    maps onto replica ``s mod N``, which is the identity in the intended
+    deployment (one shard per replica).
+    """
+
+    name = "shard"
+
+    def __init__(self, partition: GraphPartition) -> None:
+        self.partition = partition
+
+    def route(
+        self, request: Request, replicas: list[Replica], now: float
+    ) -> int:
+        shards = self.partition.shard_of(request.seeds)
+        counts = np.bincount(shards, minlength=self.partition.num_shards)
+        return int(counts.argmax()) % len(replicas)
+
+
+def make_router(
+    name: str,
+    *,
+    seed: int = 0,
+    partition: GraphPartition | None = None,
+) -> Router:
+    """Build a router by policy name.
+
+    ``seed`` feeds only the policies that draw randomness (``po2``);
+    ``partition`` is required by (and only by) ``shard``.
+    """
+    if name == "round_robin":
+        return RoundRobinRouter()
+    if name == "jsq":
+        return JoinShortestQueueRouter()
+    if name == "po2":
+        return PowerOfTwoRouter(seed=seed)
+    if name == "shard":
+        if partition is None:
+            raise ServeError(
+                "the shard-affinity router needs a graph partition "
+                "(--partition hash|greedy)"
+            )
+        return ShardAffinityRouter(partition)
+    raise ServeError(
+        f"unknown router policy {name!r}; available: {list(ROUTER_POLICIES)}"
+    )

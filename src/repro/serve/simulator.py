@@ -1,9 +1,23 @@
-"""The online serving simulator: dynamic batching under an SLO.
+"""The single-replica serving simulator (compatibility surface).
 
-The simulator replays a generated request stream against a compiled
-sampling pipeline on the device simulator's clock.  Its event loop is
-the standard inference-server shape (Triton/Clipper-style dynamic
-batching, the trade gSampler's super-batching makes statically):
+The serving subsystem is layered now:
+
+* :mod:`repro.serve.replica` — one replica's batcher, admission ladder,
+  device contexts, and the incremental event API;
+* :mod:`repro.serve.router` — routing policies across replicas;
+* :mod:`repro.serve.cluster` — N replicas on one simulated clock.
+
+This module keeps the original single-replica entry points alive on top
+of those layers.  :class:`ServeSimulator` is a :class:`Replica` with the
+classic whole-stream :meth:`~ServeSimulator.run` loop bolted back on,
+and :func:`run_serve_session` is a thin wrapper over a 1-replica
+round-robin cluster.  Both replay the pre-refactor monolithic event loop
+decision-for-decision — the fingerprint-compat test pins
+``run_serve_session`` to the committed pre-refactor fingerprint,
+bit-identically.
+
+The event-loop shape (unchanged semantics, now phrased through the
+replica's incremental API):
 
 1. **Dynamic batcher** — queued requests coalesce into one sampler
    invocation.  A batch fires when it is full (``max_batch`` requests),
@@ -12,25 +26,13 @@ batching, the trade gSampler's super-batching makes statically):
    Requests arriving before the fire time join the queue (and the batch,
    if it has room), so a busy server naturally accumulates larger
    batches: exactly the utilization/latency trade the knee plot shows.
-2. **Admission control** — a bounded waiting queue.  A request arriving
-   while ``queue_capacity`` requests wait is *shed* (refused) instead of
-   queued; shed requests never acquire a latency, only an availability
-   loss.
-3. **Graceful degradation** — an SLO-aware ladder watched over a sliding
-   window of completed-request latencies.  When the window's p99
-   breaches ``slo``, the server steps down one level; when it recovers
-   below ``recover_margin x slo``, it steps back up.  Level 1 halves the
-   sampling fanout (K=10 -> 5: cheaper neighborhoods, same contract);
-   level 2 additionally serves features *cached-only* (device-resident
-   rows only — misses are skipped rather than fetched over PCIe).
-4. **Service** — each batch concatenates its requests' seed sets into
-   one frontier and runs the compiled pipeline on the ``sample`` queue
-   of the sampling context, then charges the feature fetch on the
-   ``transfer`` queue of an I/O context whose feature table is
-   host-resident (the serving deployment: the full embedding/feature
-   table lives in host memory, only the cache's hot rows on device).
-   Batch ``i+1``'s sampling overlaps batch ``i``'s transfer — the same
-   queue overlap the pipelined trainer exploits.
+2. **Admission control** — a bounded waiting queue; arrivals beyond
+   ``queue_capacity`` are shed.
+3. **Graceful degradation** — the SLO-aware ladder over a sliding p99
+   window (level 1 halves fanouts, level 2 serves cached-only).
+4. **Service** — sampling on the ``sample`` queue, feature fetch on the
+   ``transfer`` queue of a host-resident I/O context; batch ``i+1``'s
+   sampling overlaps batch ``i``'s transfer.
 
 Everything observable — request log, latency percentiles, shed and
 degradation counts — is a deterministic function of the workload spec
@@ -39,370 +41,59 @@ and the simulator seed.
 
 from __future__ import annotations
 
-import contextlib
-import dataclasses
-
-import numpy as np
-
-from repro.cache import DEFAULT_CACHE_RATIO, FeatureCache
-from repro.core import new_rng
+from repro.cache import DEFAULT_CACHE_RATIO
 from repro.datasets import Dataset
-from repro.device import DeviceSpec, ExecutionContext
-from repro.errors import ServeError
+from repro.device import DeviceSpec
 from repro.profile.spans import Profiler
-from repro.serve.metrics import RequestLog, ServeReport, summarize
-from repro.serve.workload import Request, WorkloadSpec, generate_workload
+from repro.serve.metrics import ServeReport, summarize
+from repro.serve.replica import (
+    MAX_DEGRADE_LEVEL,
+    POLICY_PRESETS,
+    SERVE_CONFIGS,
+    Replica,
+    ServePolicy,
+    degraded_kwargs,
+)
+from repro.serve.workload import Request, WorkloadSpec
 
-#: Degradation-ladder depth: 0 = full fidelity, 1 = reduced fanout,
-#: 2 = reduced fanout + cached-only features.
-MAX_DEGRADE_LEVEL = 2
-
-#: Algorithm configurations the serving simulator knows how to build,
-#: mapping to ``make_algorithm`` kwargs at full fidelity.  The degraded
-#: variant is derived by :func:`degraded_kwargs`.
-SERVE_CONFIGS: dict[str, dict] = {
-    "graphsage": dict(fanouts=(5, 10)),
-    "ladies": dict(layer_width=256, num_layers=2),
-}
-
-#: Admission/degradation presets selectable from the CLI ``--policy``
-#: flag; each maps to (bounded queue?, SLO ladder?).
-POLICY_PRESETS: dict[str, tuple[bool, bool]] = {
-    "none": (False, False),
-    "shed": (True, False),
-    "degrade": (False, True),
-    "full": (True, True),
-}
+__all__ = [
+    "MAX_DEGRADE_LEVEL",
+    "POLICY_PRESETS",
+    "SERVE_CONFIGS",
+    "ServePolicy",
+    "ServeSimulator",
+    "degraded_kwargs",
+    "run_serve_session",
+]
 
 
-def degraded_kwargs(kwargs: dict) -> dict:
-    """The reduced-fidelity variant of an algorithm config.
+class ServeSimulator(Replica):
+    """One standalone serving replica with the whole-stream loop.
 
-    Fanouts are halved (floored at 1), layer widths halved — the ladder
-    step the issue's K=10 -> 5 example describes.
-    """
-    out = dict(kwargs)
-    if "fanouts" in out:
-        out["fanouts"] = tuple(max(1, k // 2) for k in out["fanouts"])
-    if "layer_width" in out:
-        out["layer_width"] = max(1, out["layer_width"] // 2)
-    return out
-
-
-@dataclasses.dataclass(frozen=True)
-class ServePolicy:
-    """Batching + admission + degradation knobs for one serving session."""
-
-    max_batch: int = 8
-    #: Longest a batch head may wait before firing, in simulated seconds.
-    max_wait: float = 2e-3
-    #: Bound on the waiting queue; ``None`` disables shedding.
-    queue_capacity: int | None = 64
-    #: p99 latency target in simulated seconds; ``None`` disables the
-    #: degradation ladder.
-    slo: float | None = None
-    #: Sliding-window length (completed requests) for the p99 monitor.
-    window: int = 64
-    #: Samples required in the window before the ladder may move.
-    min_samples: int = 32
-    #: The ladder steps back up once windowed p99 < recover_margin * slo.
-    recover_margin: float = 0.7
-
-    def __post_init__(self) -> None:
-        if self.max_batch < 1:
-            raise ServeError(
-                f"max batch must be at least 1, got {self.max_batch}"
-            )
-        if self.max_wait < 0.0:
-            raise ServeError(
-                f"max wait must be non-negative, got {self.max_wait}"
-            )
-        if self.queue_capacity is not None and self.queue_capacity < 1:
-            raise ServeError(
-                "queue capacity must be at least 1 (or None for "
-                f"unbounded), got {self.queue_capacity}"
-            )
-        if self.slo is not None and self.slo <= 0.0:
-            raise ServeError(f"SLO must be positive, got {self.slo}")
-        if not 0.0 < self.recover_margin < 1.0:
-            raise ServeError(
-                f"recover margin must be in (0, 1), got {self.recover_margin}"
-            )
-        if self.window < 1 or self.min_samples < 1:
-            raise ServeError("p99 window and min_samples must be positive")
-
-    @classmethod
-    def preset(
-        cls,
-        name: str,
-        *,
-        max_batch: int = 8,
-        max_wait: float = 2e-3,
-        queue_capacity: int = 64,
-        slo: float | None = None,
-    ) -> "ServePolicy":
-        """Build a policy from a ``--policy`` preset name."""
-        try:
-            shed, degrade = POLICY_PRESETS[name]
-        except KeyError:
-            raise ServeError(
-                f"unknown policy {name!r}; available: "
-                f"{sorted(POLICY_PRESETS)}"
-            ) from None
-        if degrade and slo is None:
-            raise ServeError(
-                f"policy {name!r} needs an SLO target (--slo-ms)"
-            )
-        return cls(
-            max_batch=max_batch,
-            max_wait=max_wait,
-            queue_capacity=queue_capacity if shed else None,
-            slo=slo if degrade else None,
-        )
-
-
-class ServeSimulator:
-    """Replays a request stream against a compiled sampling pipeline.
-
-    Parameters
-    ----------
-    dataset:
-        The graph being served; seeds index its nodes.
-    algorithm:
-        A :data:`SERVE_CONFIGS` key.  Both the full-fidelity and the
-        degraded pipeline are compiled up front, so ladder moves cost
-        nothing at serve time (the compile is off the request path).
-    device:
-        Device spec for sampling *and* feature transfer.  The feature
-        table itself is host-resident (the serving deployment), so cache
-        misses cross PCIe; the cache's pinned rows are charged to the
-        I/O context's memory pool.
-    policy:
-        Batching/admission/degradation knobs.
-    cache_ratio:
-        Fraction of nodes whose feature rows are pinned on device.
-    seed:
-        Seeds the sampling RNG.  The workload carries its own seed in
-        its spec; together they fix every observable of the run.
+    Exactly a :class:`~repro.serve.replica.Replica` (unprefixed queue
+    names, replica id 0, no shard) plus :meth:`run`, which drives the
+    incremental event API over a full arrival stream and folds the log
+    into a :class:`~repro.serve.metrics.ServeReport`.
     """
 
-    def __init__(
-        self,
-        dataset: Dataset,
-        *,
-        algorithm: str = "graphsage",
-        device: DeviceSpec,
-        policy: ServePolicy | None = None,
-        cache_ratio: float = DEFAULT_CACHE_RATIO,
-        seed: int = 0,
-        profiler: Profiler | None = None,
-    ) -> None:
-        from repro.algorithms import make_algorithm
-
-        if algorithm not in SERVE_CONFIGS:
-            raise ServeError(
-                f"no serving config for {algorithm!r}; "
-                f"available: {sorted(SERVE_CONFIGS)}"
-            )
-        self.dataset = dataset
-        self.algorithm = algorithm
-        self.device = device
-        self.policy = policy if policy is not None else ServePolicy()
-        self.profiler = profiler
-        self._rng = new_rng(seed)
-        example = dataset.train_ids[: min(256, len(dataset.train_ids))]
-        kwargs = SERVE_CONFIGS[algorithm]
-        self._pipelines = [
-            make_algorithm(algorithm, **kwargs).build(dataset.graph, example),
-            make_algorithm(algorithm, **degraded_kwargs(kwargs)).build(
-                dataset.graph, example
-            ),
-        ]
-        self.sample_ctx = ExecutionContext(
-            device,
-            graph_on_device=dataset.graph_on_device,
-            queues=("sample",),
-        )
-        # Feature fetches run on their own context with a host-resident
-        # "graph" (= the feature table), so misses are priced over PCIe.
-        self.io_ctx = ExecutionContext(
-            device, graph_on_device=False, queues=("transfer",)
-        )
-        if profiler is not None:
-            profiler.attach(self.sample_ctx)
-            self.io_ctx.profiler = profiler
-        self.cache: FeatureCache | None = None
-        if cache_ratio > 0.0:
-            self.cache = FeatureCache.from_dataset(
-                dataset, ratio=cache_ratio, pool=self.io_ctx.memory
-            )
-        feats = dataset.features
-        self._row_bytes = int(feats.shape[1]) * feats.dtype.itemsize
-        # Degradation-ladder state.
-        self._level = 0
-        self._latency_window: list[float] = []
-
-    # ------------------------------------------------------------------
-    def degree_hotness(self) -> np.ndarray:
-        """Per-node in-degree, the hotness ranking requests are drawn by."""
-        return np.diff(self.dataset.graph.get("csc").indptr)
-
-    def build_workload(self, spec: WorkloadSpec) -> list[Request]:
-        """Generate the spec's request stream over this graph's nodes."""
-        return generate_workload(
-            spec,
-            num_nodes=self.dataset.num_nodes,
-            hotness=self.degree_hotness(),
-        )
-
-    # ------------------------------------------------------------------
-    def _span(self, name: str, category: str, **attrs: object):
-        if self.profiler is None:
-            return contextlib.nullcontext()
-        return self.profiler.span(name, category, **attrs)
-
-    def _arrive(
-        self,
-        request: Request,
-        pending: list[Request],
-        logs: list[RequestLog],
-        by_rid: dict[int, RequestLog],
-    ) -> None:
-        """Admit ``request`` into the waiting queue, or shed it."""
-        capacity = self.policy.queue_capacity
-        if capacity is not None and len(pending) >= capacity:
-            logs.append(
-                RequestLog(
-                    rid=request.rid,
-                    arrival=request.arrival,
-                    admitted=False,
-                    level=self._level,
-                )
-            )
-            return
-        log = RequestLog(
-            rid=request.rid, arrival=request.arrival, admitted=True
-        )
-        pending.append(request)
-        logs.append(log)
-        by_rid[request.rid] = log
-
-    def _observe(self, latency: float) -> None:
-        """Feed one completion into the SLO monitor and move the ladder."""
-        slo = self.policy.slo
-        if slo is None:
-            return
-        window = self._latency_window
-        window.append(latency)
-        if len(window) > self.policy.window:
-            del window[0]
-        if len(window) < self.policy.min_samples:
-            return
-        p99 = float(np.percentile(np.asarray(window), 99.0))
-        if p99 > slo and self._level < MAX_DEGRADE_LEVEL:
-            self._level += 1
-        elif p99 < self.policy.recover_margin * slo and self._level > 0:
-            self._level -= 1
-
-    def _serve_batch(
-        self,
-        batch: list[Request],
-        fire: float,
-        batch_id: int,
-        by_rid: dict[int, RequestLog],
-    ) -> None:
-        """Run one coalesced sampler invocation and complete its requests."""
-        level = self._level
-        pipeline = self._pipelines[1 if level >= 1 else 0]
-        seeds = np.concatenate([r.seeds for r in batch])
-        with self._span(
-            f"serve_batch[{batch_id}]",
-            "serve",
-            requests=len(batch),
-            seeds=int(seeds.size),
-            level=level,
-        ):
-            with self.sample_ctx.on_queue("sample", not_before=fire):
-                sample = pipeline.sample_batch(
-                    seeds, ctx=self.sample_ctx, rng=self._rng
-                )
-            sampled_at = self.sample_ctx.queue("sample").ready
-            nodes = sample.all_nodes
-            if self.cache is not None:
-                hits, misses = self.cache.record_gather(nodes)
-            else:
-                hits, misses = 0, int(nodes.size)
-            cached_only = level >= MAX_DEGRADE_LEVEL and self.cache is not None
-            # Cached-only service reads just the device-resident rows;
-            # misses are answered from stale/default embeddings instead
-            # of crossing PCIe — zero host traffic, smaller reads.
-            rows = hits if cached_only else int(nodes.size)
-            host_rows = 0 if cached_only else misses
-            with self.io_ctx.on_queue("transfer", not_before=sampled_at):
-                self.io_ctx.record(
-                    "serve_feature_fetch",
-                    bytes_read=rows * self._row_bytes,
-                    bytes_written=rows * self._row_bytes,
-                    tasks=max(rows, 1),
-                    graph_bytes=host_rows * self._row_bytes,
-                )
-            completion = self.io_ctx.queue("transfer").ready
-        for request in batch:
-            log = by_rid[request.rid]
-            log.start = fire
-            log.completion = completion
-            log.batch_id = batch_id
-            log.batch_size = len(batch)
-            log.level = level
-            self._observe(completion - request.arrival)
-
-    # ------------------------------------------------------------------
     def run(self, requests: list[Request]) -> ServeReport:
         """Serve the whole stream; returns the aggregate report.
 
-        The loop is event-driven on the simulated clock: it alternates
-        between admitting the next arrival (when it lands before the
-        current batch would fire) and firing the batch at the head of
-        the queue.  Each path consumes an arrival or drains queued
-        requests, so it terminates after exactly
-        ``len(requests) + num_batches`` iterations.
+        Arrivals are visited in ``(arrival, rid)`` order; before each is
+        admitted, every batch due strictly *before* it fires (an arrival
+        landing exactly at a fire time joins the queue first — the
+        original loop's tie-break).  After the last arrival the queue
+        drains.  This is the same alternation the monolithic loop
+        performed, so the decision sequence — hence the fingerprint — is
+        unchanged.
         """
         ordered = sorted(requests, key=lambda r: (r.arrival, r.rid))
-        pending: list[Request] = []
-        logs: list[RequestLog] = []
-        by_rid: dict[int, RequestLog] = {}
-        idx = 0
-        batch_id = 0
-        policy = self.policy
-        sample_q = self.sample_ctx.queue("sample")
-        with self._span(
-            "serve_session", "serve", requests=len(ordered)
-        ):
-            while idx < len(ordered) or pending:
-                if not pending:
-                    self._arrive(ordered[idx], pending, logs, by_rid)
-                    idx += 1
-                    continue
-                head = pending[0]
-                earliest = max(sample_q.ready, head.arrival)
-                if len(pending) >= policy.max_batch:
-                    # A full batch fires as soon as the device is free —
-                    # but no earlier than its youngest member arrived
-                    # (the member that completed the batch may have
-                    # landed after the device went idle).
-                    fire = max(
-                        earliest, pending[policy.max_batch - 1].arrival
-                    )
-                else:
-                    fire = max(earliest, head.arrival + policy.max_wait)
-                if idx < len(ordered) and ordered[idx].arrival <= fire:
-                    self._arrive(ordered[idx], pending, logs, by_rid)
-                    idx += 1
-                    continue
-                batch = pending[: policy.max_batch]
-                del pending[: len(batch)]
-                self._serve_batch(batch, fire, batch_id, by_rid)
-                batch_id += 1
+        logs = []
+        with self._span("serve_session", "serve", requests=len(ordered)):
+            for request in ordered:
+                self.advance_until(request.arrival)
+                logs.append(self.offer(request))
+            self.drain()
         return summarize(
             logs,
             cache=self.cache.epoch_stats() if self.cache is not None else None,
@@ -419,23 +110,27 @@ def run_serve_session(
     cache_ratio: float = DEFAULT_CACHE_RATIO,
     seed: int = 0,
     profiler: Profiler | None = None,
-) -> tuple[ServeSimulator, ServeReport]:
+):
     """One-call serving session: build, generate workload, serve, report.
 
-    This is the cell the CLI, the benchmark sweep, and the determinism
-    guard all go through, so a fixed ``(spec, policy, seed)`` triple
-    names exactly one reproducible session.
+    Backward-compat wrapper over a 1-replica round-robin
+    :class:`~repro.serve.cluster.ClusterSimulator` — which reproduces
+    the pre-refactor single-replica session bit-identically (the
+    fingerprint-compat test).  The returned cluster exposes
+    ``sample_ctx``/``io_ctx``/``cache`` of its only replica, so existing
+    callers keep working unchanged.
     """
-    simulator = ServeSimulator(
+    from repro.serve.cluster import run_cluster_session
+
+    return run_cluster_session(
         dataset,
         algorithm=algorithm,
         device=device,
+        spec=spec,
         policy=policy,
+        num_replicas=1,
+        router="round_robin",
         cache_ratio=cache_ratio,
         seed=seed,
         profiler=profiler,
     )
-    workload = simulator.build_workload(
-        spec if spec is not None else WorkloadSpec(seed=seed)
-    )
-    return simulator, simulator.run(workload)

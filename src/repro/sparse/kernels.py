@@ -470,11 +470,22 @@ def _segment_reduce(
     n = len(indptr) - 1
     lengths = np.diff(indptr)
     if op == "sum" or op == "mean":
-        # Exact segmented sum via prefix sums; immune to the empty-segment
-        # corner cases of ``np.add.reduceat``.
-        csum = np.zeros(len(values) + 1, dtype=np.float64)
-        np.cumsum(values, dtype=np.float64, out=csum[1:])
-        out = csum[indptr[1:]] - csum[indptr[:-1]]
+        if len(values) and not np.all(np.isfinite(values)):
+            # Prefix-sum differencing would poison every segment after a
+            # non-finite value (inf - inf = nan); scatter-add keeps
+            # inf/nan confined to their own segments, matching the
+            # COO-layout reduction so layout selection cannot change
+            # results on overflowed inputs.
+            seg_ids = np.repeat(np.arange(n, dtype=INDEX_DTYPE), lengths)
+            out = np.bincount(
+                seg_ids, weights=values.astype(np.float64), minlength=n
+            )
+        else:
+            # Exact segmented sum via prefix sums; immune to the
+            # empty-segment corner cases of ``np.add.reduceat``.
+            csum = np.zeros(len(values) + 1, dtype=np.float64)
+            np.cumsum(values, dtype=np.float64, out=csum[1:])
+            out = csum[indptr[1:]] - csum[indptr[:-1]]
         if op == "mean":
             with np.errstate(invalid="ignore", divide="ignore"):
                 out = out / lengths

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.core import new_rng
@@ -83,6 +83,13 @@ def _make_program(steps, select, k):
     run_seed=st.integers(0, 2**31 - 1),
 )
 @settings(max_examples=40, deadline=None)
+@example(
+    steps=['mul_rowsum', 'pow2', 'mul_rowsum', 'exp_clip'],
+    select='collective',
+    k=2,
+    graph_seed=0,
+    run_seed=0,
+).via('discovered failure')
 def test_optimized_equals_plain(steps, select, k, graph_seed, run_seed):
     graph = _graph(graph_seed)
     seeds = np.arange(12)

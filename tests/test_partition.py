@@ -1,0 +1,180 @@
+"""Graph partitioners: determinism, balance, edge cut, shard views.
+
+The contracts under test:
+
+* both partitioners are pure functions of (graph, k, seed) — repeated
+  calls produce identical assignments (what the shard-affinity routing
+  fingerprint rests on);
+* hash partitioning is balanced in expectation and structure-oblivious
+  (edge cut near ``(k-1)/k``); greedy cuts far fewer edges on a
+  clustered graph while keeping per-shard degree sums balanced;
+* :class:`ShardView` answers ownership and remote-count queries
+  consistently with the assignment, including duplicates and empties;
+* validation rejects nonsense shard counts and unknown methods.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Matrix
+from repro.datasets import load_dataset
+from repro.errors import ShapeError
+from repro.partition import (
+    PARTITION_METHODS,
+    GraphPartition,
+    ShardView,
+    greedy_partition,
+    hash_assignment,
+    hash_partition,
+    make_partition,
+)
+from repro.sparse import CSC
+
+
+@pytest.fixture(scope="module")
+def pd_graph():
+    return load_dataset("pd", scale=0.25).graph
+
+
+def _two_cliques(size: int = 8) -> Matrix:
+    """Two disjoint cliques — the ideal 2-shard instance (zero cut)."""
+    n = 2 * size
+    cols = []
+    rows = []
+    for block in (range(size), range(size, n)):
+        block = list(block)
+        for v in block:
+            cols.append(v)
+            rows.extend(u for u in block if u != v)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    for v in cols:
+        indptr[v + 1] = size - 1
+    indptr = np.cumsum(indptr)
+    return Matrix(
+        CSC(
+            indptr=indptr,
+            rows=np.array(rows, dtype=np.int64),
+            values=None,
+            shape=(n, n),
+        )
+    )
+
+
+class TestHashPartition:
+    def test_deterministic(self, pd_graph):
+        a = hash_partition(pd_graph, 4, seed=3)
+        b = hash_partition(pd_graph, 4, seed=3)
+        np.testing.assert_array_equal(a.assignment, b.assignment)
+        assert a.edge_cut == b.edge_cut
+
+    def test_seed_changes_assignment(self, pd_graph):
+        a = hash_partition(pd_graph, 4, seed=0)
+        b = hash_partition(pd_graph, 4, seed=1)
+        assert np.any(a.assignment != b.assignment)
+
+    def test_balanced_in_expectation(self):
+        assignment = hash_assignment(20_000, 4, seed=0)
+        counts = np.bincount(assignment, minlength=4)
+        # Each shard within 5% of the fair share at n=20k.
+        np.testing.assert_allclose(counts, 5000, rtol=0.05)
+
+    def test_edge_cut_near_oblivious_expectation(self, pd_graph):
+        # A structure-oblivious assignment cuts ~(k-1)/k of edges.
+        part = hash_partition(pd_graph, 4, seed=0)
+        assert 0.65 < part.edge_cut < 0.85
+
+    def test_not_plain_modulo(self):
+        assignment = hash_assignment(64, 4, seed=0)
+        assert np.any(assignment != np.arange(64) % 4)
+
+
+class TestGreedyPartition:
+    def test_deterministic(self, pd_graph):
+        a = greedy_partition(pd_graph, 4)
+        b = greedy_partition(pd_graph, 4)
+        np.testing.assert_array_equal(a.assignment, b.assignment)
+
+    def test_cuts_fewer_edges_than_hash(self, pd_graph):
+        hashed = hash_partition(pd_graph, 4, seed=0)
+        greedy = greedy_partition(pd_graph, 4)
+        assert greedy.edge_cut < hashed.edge_cut
+
+    def test_degree_balanced(self, pd_graph):
+        greedy = greedy_partition(pd_graph, 4)
+        # Max shard within 10% of the mean shard degree sum.
+        assert greedy.degree_balance() < 1.1
+
+    def test_separates_disjoint_cliques(self):
+        part = greedy_partition(_two_cliques(), 2)
+        # Perfect instance: each clique on its own shard, zero cut.
+        assert part.edge_cut == 0.0
+        assert len(np.unique(part.assignment[:8])) == 1
+        assert len(np.unique(part.assignment[8:])) == 1
+        assert part.assignment[0] != part.assignment[8]
+
+    def test_assigns_every_node(self, pd_graph):
+        part = greedy_partition(pd_graph, 3)
+        assert np.all(part.assignment >= 0)
+        assert np.all(part.assignment < 3)
+
+
+class TestShardView:
+    def test_views_partition_the_nodes(self, pd_graph):
+        part = make_partition("hash", pd_graph, 3, seed=0)
+        views = part.views()
+        all_nodes = np.concatenate([v.nodes for v in views])
+        assert len(all_nodes) == part.num_nodes
+        assert len(np.unique(all_nodes)) == part.num_nodes
+
+    def test_contains_matches_assignment(self, pd_graph):
+        part = make_partition("hash", pd_graph, 3, seed=0)
+        probe = np.arange(0, part.num_nodes, 7, dtype=np.int64)
+        for view in part.views():
+            np.testing.assert_array_equal(
+                view.contains(probe), part.shard_of(probe) == view.shard_id
+            )
+
+    def test_remote_count_counts_duplicates(self, pd_graph):
+        part = make_partition("hash", pd_graph, 2, seed=0)
+        view = part.view(0)
+        local = view.nodes[0]
+        remote = part.view(1).nodes[0]
+        nodes = np.array([local, remote, remote, local], dtype=np.int64)
+        assert view.remote_count(nodes) == 2
+
+    def test_empty_queries(self, pd_graph):
+        view = make_partition("hash", pd_graph, 2, seed=0).view(0)
+        empty = np.array([], dtype=np.int64)
+        assert view.remote_count(empty) == 0
+        assert view.contains(empty).size == 0
+
+    def test_degree_sum_matches_view(self, pd_graph):
+        part = make_partition("greedy", pd_graph, 2)
+        degrees = np.diff(pd_graph.get("csc").indptr)
+        for view in part.views():
+            assert view.degree_sum == int(degrees[view.nodes].sum())
+
+
+class TestValidation:
+    def test_shard_count(self, pd_graph):
+        for method in PARTITION_METHODS:
+            with pytest.raises(ShapeError):
+                make_partition(method, pd_graph, 0)
+
+    def test_unknown_method(self, pd_graph):
+        with pytest.raises(ShapeError):
+            make_partition("metis", pd_graph, 2)
+
+    def test_view_range(self, pd_graph):
+        part = make_partition("hash", pd_graph, 2, seed=0)
+        with pytest.raises(ShapeError):
+            part.view(2)
+        with pytest.raises(ShapeError):
+            part.view(-1)
+
+    def test_partition_types(self, pd_graph):
+        part = make_partition("hash", pd_graph, 2, seed=0)
+        assert isinstance(part, GraphPartition)
+        assert all(isinstance(v, ShardView) for v in part.views())
