@@ -212,6 +212,21 @@ def _build_parser() -> argparse.ArgumentParser:
         default=2.0,
         help="p99 latency target in simulated milliseconds",
     )
+    serve.add_argument(
+        "--composer",
+        default="fifo",
+        choices=("fifo", "binned", "superbatch"),
+        help="batch-composition policy: the classic FIFO dynamic "
+        "batcher, size-binned batching (no mixed seed-count bins), or "
+        "cross-request super-batch fusion (one compiled run per window)",
+    )
+    serve.add_argument(
+        "--superbatch-window",
+        type=int,
+        default=None,
+        help="cap on requests fused per super-batch run (default: "
+        "bounded only by the admission queue capacity)",
+    )
     serve.add_argument("--max-batch", type=int, default=8)
     serve.add_argument(
         "--max-wait-ms",
@@ -553,7 +568,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         compare_metrics,
         write_chrome_trace,
     )
-    from repro.serve import ServePolicy, WorkloadSpec, run_cluster_session
+    from repro.serve import (
+        ServePolicy,
+        WorkloadSpec,
+        make_composer,
+        run_cluster_session,
+    )
 
     cache_ratio = (
         args.cache_ratio if args.cache_ratio is not None else DEFAULT_CACHE_RATIO
@@ -579,6 +599,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             queue_capacity=args.queue_capacity,
             slo=args.slo_ms * 1e-3,
         )
+        composer = make_composer(
+            args.composer, max_requests=args.superbatch_window
+        )
         with profiler.activate():
             # A 1-replica round-robin cluster is bit-identical to the
             # classic single-replica session, so everything routes
@@ -593,6 +616,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 router=args.router,
                 partition=partition,
                 link=args.link,
+                composer=composer,
                 cache_ratio=cache_ratio,
                 seed=args.seed,
                 profiler=profiler,
@@ -621,6 +645,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ["cache hit rate",
              f"{cache.hit_rate:.1%} ({cache.cached_rows} rows pinned)"]
         )
+    if report.composer != "fifo":
+        rows.append(["composer", report.composer])
+        rows.append(["padded seed slots", report.padding_seeds])
+        if report.superbatch_batches:
+            rows.append(
+                ["super-batch fusion",
+                 f"{report.superbatch_requests} requests / "
+                 f"{report.superbatch_batches} fused runs "
+                 f"(mean {report.superbatch_requests / report.superbatch_batches:.1f})"]
+            )
+            rows.append(["deduplicated feature rows", report.dedup_rows])
     if report.replicas > 1:
         rows.append(["replicas / router", f"{report.replicas} / {report.router}"])
         if simulator.partition is not None:
@@ -641,6 +676,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if report.replicas > 1
         else ""
     )
+    if report.composer != "fifo":
+        cluster_title += f", composer={report.composer}"
     print(
         format_table(
             ["Metric", "Value"],
@@ -703,8 +740,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     out_dir.mkdir(parents=True, exist_ok=True)
     # Cluster sessions get their own trajectory file: their metrics
     # (replica count, router, cross-shard traffic) are not comparable
-    # run-over-run with the single-replica serve trajectory.
+    # run-over-run with the single-replica serve trajectory.  Non-FIFO
+    # composers likewise get their own lane — their batch shapes (and
+    # extra metric keys) are not comparable with the FIFO trajectory.
     kind = "cluster" if args.replicas > 1 else "serve"
+    if args.composer != "fifo":
+        kind = f"{kind}_{args.composer}"
     tag = f"{kind}_{args.algorithm}_{args.dataset}_{args.device}"
     trace_path = (
         pathlib.Path(args.trace_out)
@@ -737,6 +778,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "cache_ratio": cache_ratio,
         "seed": args.seed,
     }
+    if args.composer != "fifo":
+        meta["composer"] = args.composer
+        if args.superbatch_window is not None:
+            meta["superbatch_window"] = args.superbatch_window
     if args.replicas > 1:
         meta["replicas"] = args.replicas
         meta["router"] = args.router

@@ -198,14 +198,22 @@ class CompiledSampler:
                 "super-batching requires the (matrix, next_frontiers) "
                 "one-layer contract"
             )
+        if not frontier_batches:
+            # An empty fusion window is a no-op, not a concatenate error
+            # (the serving composer may legitimately plan zero batches).
+            return []
         rng = rng if rng is not None else new_rng(None)
         routed = (
             ctx.on_queue(queue, not_before=not_before)
             if queue is not None
             else contextlib.nullcontext()
         )
+        total_seeds = sum(int(np.size(b)) for b in frontier_batches)
         with routed, _span(
-            "sampler.superbatch", "exec", num_batches=len(frontier_batches)
+            "sampler.superbatch",
+            "exec",
+            num_batches=len(frontier_batches),
+            total_seeds=total_seeds,
         ):
             concat = np.concatenate([np.asarray(b) for b in frontier_batches])
             batch_ptr = np.zeros(len(frontier_batches) + 1, dtype=np.int64)
@@ -229,7 +237,7 @@ class CompiledSampler:
     # ------------------------------------------------------------------
     def choose_superbatch_size(
         self,
-        example_batch: np.ndarray,
+        example_batch: np.ndarray | Sequence[np.ndarray],
         *,
         memory_budget: int,
         tensors: dict[str, np.ndarray] | None = None,
@@ -240,14 +248,27 @@ class CompiledSampler:
         Mirrors the paper: the user gives a sampling memory budget and
         gSampler probes batch multiples, measuring the simulated peak
         memory of each, and keeps the largest that fits.
+
+        ``example_batch`` may also be a sequence of heterogeneous seed
+        sets (a representative serving request mix): the probe then
+        cycles through them, so the chosen window reflects the actual
+        per-request size distribution rather than one uniform batch.
         """
+        if isinstance(example_batch, np.ndarray):
+            examples: list[np.ndarray] = [example_batch]
+        else:
+            examples = [np.asarray(b) for b in example_batch]
+            if not examples:
+                raise TraceError(
+                    "choose_superbatch_size needs at least one example batch"
+                )
         best = 1
         size = 2
         while size <= max_size:
             probe_ctx = ExecutionContext()
             try:
                 self.run_superbatch(
-                    [example_batch] * size,
+                    [examples[i % len(examples)] for i in range(size)],
                     tensors=tensors,
                     ctx=probe_ctx,
                     rng=new_rng(0),

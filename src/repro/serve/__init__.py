@@ -9,6 +9,12 @@ device simulator's clock, for one replica or a routed cluster of them:
 
 * :mod:`repro.serve.workload` — seeded arrival processes (Poisson,
   bursty, diurnal) and skew-drawn per-request seed sets;
+* :mod:`repro.serve.compose` — pluggable batch composition: the classic
+  FIFO dynamic batcher, a size-binned variant that never mixes
+  seed-count bins, and the cross-request super-batch composer that
+  fuses every pending request into one compiled ``run_superbatch``
+  launch sequence (the paper's Table 7 optimization, generalized from
+  training epochs to the serving hot loop);
 * :mod:`repro.serve.replica` — one replica: the dynamic batcher
   (max-batch/max-wait), bounded-queue admission control, the SLO-aware
   degradation ladder (reduced fanout, then cached-only features), batch
@@ -33,6 +39,16 @@ the workload spec, topology, and simulator seed.
 """
 
 from repro.serve.cluster import ClusterSimulator, run_cluster_session
+from repro.serve.compose import (
+    COMPOSER_POLICIES,
+    BatchComposer,
+    BatchPlan,
+    FifoComposer,
+    SizeBinnedComposer,
+    SuperbatchComposer,
+    clamp_fire,
+    make_composer,
+)
 from repro.serve.metrics import (
     LATENCY_PERCENTILES,
     ReplicaStats,
@@ -72,11 +88,15 @@ from repro.serve.workload import (
 
 __all__ = [
     "ARRIVAL_PROCESSES",
+    "COMPOSER_POLICIES",
     "LATENCY_PERCENTILES",
     "MAX_DEGRADE_LEVEL",
     "POLICY_PRESETS",
     "ROUTER_POLICIES",
+    "BatchComposer",
+    "BatchPlan",
     "ClusterSimulator",
+    "FifoComposer",
     "JoinShortestQueueRouter",
     "PowerOfTwoRouter",
     "Replica",
@@ -90,11 +110,15 @@ __all__ = [
     "ServeReport",
     "ServeSimulator",
     "ShardAffinityRouter",
+    "SizeBinnedComposer",
+    "SuperbatchComposer",
     "WorkloadSpec",
     "arrival_times",
     "build_pipelines",
+    "clamp_fire",
     "degraded_kwargs",
     "generate_workload",
+    "make_composer",
     "make_router",
     "rank_probabilities",
     "replica_breakdown",

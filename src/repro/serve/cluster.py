@@ -36,6 +36,7 @@ from repro.device import DeviceSpec, LinkSpec, default_link_for, get_link
 from repro.errors import ServeError
 from repro.partition import GraphPartition, make_partition
 from repro.profile.spans import Profiler
+from repro.serve.compose import BatchComposer, make_composer
 from repro.serve.metrics import ServeReport, replica_breakdown, summarize
 from repro.serve.replica import (
     Replica,
@@ -71,6 +72,12 @@ class ClusterSimulator:
         (``nvlink``/``pcie``), a :class:`~repro.device.LinkSpec`, or
         ``None`` for the device's default wiring (V100 -> NVLink).
         Only meaningful with a partition.
+    composer:
+        Batch-composition policy, plumbed to every replica: a
+        :data:`~repro.serve.compose.COMPOSER_POLICIES` name, a pre-built
+        :class:`~repro.serve.compose.BatchComposer`, or a sequence of
+        either with one entry per replica (heterogeneous clusters, e.g.
+        an A/B lane comparing fifo vs super-batch under one router).
     """
 
     def __init__(
@@ -84,6 +91,7 @@ class ClusterSimulator:
         router: str | Router = "round_robin",
         partition: str | GraphPartition | None = None,
         link: str | LinkSpec | None = None,
+        composer: str | BatchComposer | list | tuple = "fifo",
         cache_ratio: float = DEFAULT_CACHE_RATIO,
         seed: int = 0,
         profiler: Profiler | None = None,
@@ -118,6 +126,19 @@ class ClusterSimulator:
             if isinstance(router, Router)
             else make_router(router, seed=seed, partition=partition)
         )
+        if isinstance(composer, (list, tuple)):
+            if len(composer) != num_replicas:
+                raise ServeError(
+                    f"got {len(composer)} composers for {num_replicas} "
+                    "replicas (one per replica)"
+                )
+            composers = [make_composer(c) for c in composer]
+        else:
+            composers = [make_composer(composer)] * num_replicas
+        names = {c.name for c in composers}
+        #: Session-level composer label: the shared policy name, or
+        #: ``"mixed"`` for a heterogeneous cluster.
+        self.composer_name = names.pop() if len(names) == 1 else "mixed"
         # One compile, shared by every replica: pipelines are stateless
         # with respect to the execution context.
         pipelines = build_pipelines(dataset, algorithm)
@@ -132,6 +153,7 @@ class ClusterSimulator:
                 profiler=profiler,
                 replica_id=i,
                 pipelines=pipelines,
+                composer=composers[i],
                 queue_prefix=f"r{i}:" if num_replicas > 1 else "",
                 shard=partition.view(i) if partition is not None else None,
                 link=link if partition is not None else None,
@@ -217,6 +239,15 @@ class ClusterSimulator:
             r.cross_shard_bytes for r in self.replicas
         )
         report.link_seconds = sum(r.link_seconds for r in self.replicas)
+        report.composer = self.composer_name
+        report.padding_seeds = sum(r.padding_seeds for r in self.replicas)
+        report.dedup_rows = sum(r.dedup_rows for r in self.replicas)
+        report.superbatch_requests = sum(
+            r.superbatch_requests for r in self.replicas
+        )
+        report.superbatch_batches = sum(
+            r.superbatch_batches for r in self.replicas
+        )
         return report
 
 
@@ -231,6 +262,7 @@ def run_cluster_session(
     router: str | Router = "round_robin",
     partition: str | GraphPartition | None = None,
     link: str | LinkSpec | None = None,
+    composer: str | BatchComposer | list | tuple = "fifo",
     cache_ratio: float = DEFAULT_CACHE_RATIO,
     seed: int = 0,
     profiler: Profiler | None = None,
@@ -250,6 +282,7 @@ def run_cluster_session(
         router=router,
         partition=partition,
         link=link,
+        composer=composer,
         cache_ratio=cache_ratio,
         seed=seed,
         profiler=profiler,

@@ -62,6 +62,10 @@ class RequestLog:
     #: sessions).  Deliberately outside :meth:`key`: the fingerprint
     #: predates the cluster layer and must stay comparable across it.
     replica: int = 0
+    #: Seed count of the request (padding accounting / size-binning
+    #: diagnostics).  Outside :meth:`key` for the same reason as
+    #: ``replica``: the fingerprint predates the composer layer.
+    seeds: int = 0
 
     @property
     def completed(self) -> bool:
@@ -141,6 +145,20 @@ class ServeReport:
     cross_shard_rows: int = 0
     cross_shard_bytes: int = 0
     link_seconds: float = 0.0
+    #: Batch-composition policy the session ran under.  ``"fifo"`` (the
+    #: default) keeps the report — and :meth:`to_metrics` — identical to
+    #: the pre-composer subsystem; the fields below stay zero there.
+    composer: str = "fifo"
+    #: Seed slots a padded deployment would waste: per joint batch,
+    #: (max member seed count - member seed count) summed over members.
+    padding_seeds: int = 0
+    #: Feature rows the super-batch path avoided re-fetching by
+    #: deduplicating the fused requests' node sets.
+    dedup_rows: int = 0
+    #: Requests served through the fused super-batch path, and the
+    #: number of fused runs they amortized into.
+    superbatch_requests: int = 0
+    superbatch_batches: int = 0
 
     @property
     def shed_rate(self) -> float:
@@ -182,6 +200,17 @@ class ServeReport:
             metrics["cross_shard_rows"] = float(self.cross_shard_rows)
             metrics["cross_shard_bytes"] = float(self.cross_shard_bytes)
             metrics["link_ms"] = self.link_seconds * 1e3
+        if self.composer != "fifo":
+            # Composer lanes get their own trajectory tag, so new keys
+            # here never perturb the committed FIFO lanes' schema.
+            metrics["padding_seeds"] = float(self.padding_seeds)
+            metrics["dedup_rows"] = float(self.dedup_rows)
+            metrics["superbatch_requests"] = float(self.superbatch_requests)
+            metrics["mean_fused"] = (
+                self.superbatch_requests / self.superbatch_batches
+                if self.superbatch_batches
+                else 0.0
+            )
         return metrics
 
 

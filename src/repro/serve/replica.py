@@ -37,6 +37,7 @@ from repro.device import DeviceSpec, ExecutionContext, LinkSpec
 from repro.errors import ServeError
 from repro.partition import ShardView
 from repro.profile.spans import Profiler
+from repro.serve.compose import BatchComposer, make_composer
 from repro.serve.metrics import RequestLog
 from repro.serve.workload import Request, WorkloadSpec, generate_workload
 from repro.stats import SlidingWindow
@@ -216,6 +217,12 @@ class Replica:
     pipelines:
         Pre-compiled ``[full, degraded]`` pipeline pair shared across a
         cluster; compiled here when omitted.
+    composer:
+        Batch-composition policy — a :data:`~repro.serve.compose.COMPOSER_POLICIES`
+        name or a pre-built :class:`~repro.serve.compose.BatchComposer`.
+        ``"fifo"`` (the default) replays the pre-composer batcher
+        bit-identically; ``"superbatch"`` requires the algorithm's
+        pipelines to support super-batched execution.
     queue_prefix:
         Prefix for the device queue names (``"r1:"`` in a cluster), so
         each replica's timelines render as its own thread-row group in
@@ -241,6 +248,7 @@ class Replica:
         profiler: Profiler | None = None,
         replica_id: int = 0,
         pipelines: list | None = None,
+        composer: str | BatchComposer = "fifo",
         queue_prefix: str = "",
         shard: ShardView | None = None,
         link: LinkSpec | None = None,
@@ -264,6 +272,14 @@ class Replica:
             if pipelines is not None
             else build_pipelines(dataset, algorithm)
         )
+        self.composer = make_composer(composer)
+        if self.composer.requires_superbatch and not all(
+            pipeline.supports_superbatch for pipeline in self._pipelines
+        ):
+            raise ServeError(
+                f"composer {self.composer.name!r} needs a super-batch "
+                f"capable algorithm; {algorithm!r} excludes super-batching"
+            )
         self._sample_queue = f"{queue_prefix}sample"
         self._transfer_queue = f"{queue_prefix}transfer"
         #: True when part of a multi-replica cluster; batch spans then
@@ -310,6 +326,17 @@ class Replica:
         self.cross_shard_rows = 0
         self.cross_shard_bytes = 0
         self.link_seconds = 0.0
+        # Composition accounting.  ``padding_seeds`` models a padded
+        # deployment: each joint batch is charged (max member seed count
+        # - member seed count) summed over members — what size-binning
+        # minimizes.  ``dedup_rows`` counts feature rows the super-batch
+        # path avoided re-fetching by deduplicating across fused
+        # requests; ``superbatch_requests`` counts requests served
+        # through the fused path.
+        self.padding_seeds = 0
+        self.dedup_rows = 0
+        self.superbatch_requests = 0
+        self.superbatch_batches = 0
 
     # ------------------------------------------------------------------
     def degree_hotness(self) -> np.ndarray:
@@ -322,6 +349,40 @@ class Replica:
             spec,
             num_nodes=self.dataset.num_nodes,
             hotness=self.degree_hotness(),
+        )
+
+    def superbatch_window(
+        self,
+        example_requests: list[Request],
+        *,
+        memory_fraction: float = 0.25,
+        max_size: int = 64,
+    ) -> int:
+        """Largest fusion window fitting the sampling memory budget.
+
+        Reuses :meth:`~repro.sampler.CompiledSampler.choose_superbatch_size`
+        with ``memory_fraction`` of this device's capacity as the
+        budget, probing each compiled layer against the representative
+        request mix and keeping the most conservative answer — the
+        paper's budget-probe, applied to the serving window.
+        """
+        if not example_requests:
+            raise ServeError(
+                "superbatch window sizing needs at least one example request"
+            )
+        samplers = getattr(self._pipelines[0], "samplers", None)
+        if not samplers:
+            raise ServeError(
+                f"{self.algorithm!r} has no compiled layers to probe a "
+                "super-batch window against"
+            )
+        budget = int(self.device.memory_capacity * memory_fraction)
+        seed_sets = [r.seeds for r in example_requests]
+        return min(
+            sampler.choose_superbatch_size(
+                seed_sets, memory_budget=budget, max_size=max_size
+            )
+            for sampler in samplers
         )
 
     # ------------------------------------------------------------------
@@ -363,47 +424,53 @@ class Replica:
                 admitted=False,
                 level=self._level,
                 replica=self.replica_id,
+                seeds=int(request.seeds.size),
             )
         log = RequestLog(
             rid=request.rid,
             arrival=request.arrival,
             admitted=True,
             replica=self.replica_id,
+            seeds=int(request.seeds.size),
         )
         self._pending.append(request)
         self._by_rid[request.rid] = log
         return log
 
-    def next_fire_time(self) -> float | None:
-        """When the head batch would fire; ``None`` with an empty queue.
+    def _plan(self):
+        """The composer's next batch plan over the current queue state."""
+        return self.composer.plan(
+            self._pending,
+            self.policy,
+            self.sample_ctx.queue(self._sample_queue).ready,
+        )
 
-        A full batch fires as soon as the sampling queue is free — but
-        no earlier than its youngest member arrived (the member that
-        completed the batch may have landed after the device went idle).
-        A partial batch waits out ``max_wait`` from its head's arrival.
+    def next_fire_time(self) -> float | None:
+        """When the next batch would fire; ``None`` with an empty queue.
+
+        Delegated to the composer, which causality-clamps the time to
+        the composed batch's own members: never before the sampling
+        queue is free, never before the youngest member arrived, and a
+        partial batch waits out ``max_wait`` from its oldest member
+        (see :func:`~repro.serve.compose.clamp_fire`).
         """
-        if not self._pending:
-            return None
-        policy = self.policy
-        head = self._pending[0]
-        sample_q = self.sample_ctx.queue(self._sample_queue)
-        earliest = max(sample_q.ready, head.arrival)
-        if len(self._pending) >= policy.max_batch:
-            return max(
-                earliest, self._pending[policy.max_batch - 1].arrival
-            )
-        return max(earliest, head.arrival + policy.max_wait)
+        plan = self._plan()
+        return None if plan is None else plan.fire
 
     def fire_next_batch(self) -> float:
-        """Coalesce and serve the head batch; returns its fire time."""
-        fire = self.next_fire_time()
-        if fire is None:
+        """Compose and serve the next batch; returns its fire time."""
+        plan = self._plan()
+        if plan is None:
             raise ServeError("no pending requests to fire")
-        batch = self._pending[: self.policy.max_batch]
-        del self._pending[: len(batch)]
-        self._serve_batch(batch, fire, self._batch_id)
+        batch = [self._pending[i] for i in plan.indices]
+        for i in sorted(plan.indices, reverse=True):
+            del self._pending[i]
+        if plan.superbatch:
+            self._serve_superbatch(batch, plan.fire, self._batch_id)
+        else:
+            self._serve_batch(batch, plan.fire, self._batch_id)
         self._batch_id += 1
-        return fire
+        return plan.fire
 
     def advance_until(self, now: float) -> None:
         """Fire every batch due strictly before ``now``.
@@ -447,6 +514,8 @@ class Replica:
         level = self._level
         pipeline = self._pipelines[1 if level >= 1 else 0]
         seeds = np.concatenate([r.seeds for r in batch])
+        sizes = [int(r.seeds.size) for r in batch]
+        self.padding_seeds += max(sizes) * len(sizes) - sum(sizes)
         attrs: dict[str, object] = dict(
             requests=len(batch), seeds=int(seeds.size), level=level
         )
@@ -458,49 +527,109 @@ class Replica:
                     seeds, ctx=self.sample_ctx, rng=self._rng
                 )
             sampled_at = self.sample_ctx.queue(self._sample_queue).ready
-            nodes = sample.all_nodes
-            if self.cache is not None:
-                hits, misses = self.cache.record_gather(nodes)
-            else:
-                hits, misses = 0, int(nodes.size)
-            cached_only = level >= MAX_DEGRADE_LEVEL and self.cache is not None
-            # Sharded replica: frontier nodes owned by other shards must
-            # hop the interconnect from their owner's device before the
-            # local feature read.  Cached-only service skips the hop the
-            # same way it skips PCIe — remote misses are answered from
-            # stale/default embeddings.
-            if self.shard is not None and not cached_only:
-                remote = self.shard.remote_count(nodes)
-                if remote > 0:
-                    remote_bytes = remote * self._row_bytes
-                    hop = self.link.transfer_time(remote_bytes)
-                    with self.io_ctx.on_queue(
-                        self._transfer_queue, not_before=sampled_at
-                    ):
-                        self.io_ctx.record(
-                            f"cross_shard_fetch[{self.link.name}]",
-                            tasks=remote,
-                            fixed_seconds=hop,
-                        )
-                    self.cross_shard_rows += remote
-                    self.cross_shard_bytes += remote_bytes
-                    self.link_seconds += hop
-            # Cached-only service reads just the device-resident rows;
-            # misses are answered from stale/default embeddings instead
-            # of crossing PCIe — zero host traffic, smaller reads.
-            rows = hits if cached_only else int(nodes.size)
-            host_rows = 0 if cached_only else misses
-            with self.io_ctx.on_queue(
-                self._transfer_queue, not_before=sampled_at
-            ):
-                self.io_ctx.record(
-                    "serve_feature_fetch",
-                    bytes_read=rows * self._row_bytes,
-                    bytes_written=rows * self._row_bytes,
-                    tasks=max(rows, 1),
-                    graph_bytes=host_rows * self._row_bytes,
+            completion = self._fetch_features(sample.all_nodes, sampled_at, level)
+        self._complete(batch, fire, completion, batch_id, level)
+
+    def _serve_superbatch(
+        self, batch: list[Request], fire: float, batch_id: int
+    ) -> None:
+        """Run one fused super-batch over the batch's per-request seeds.
+
+        Unlike the joint path — which concatenates every member's seeds
+        into one anonymous sample — each request is its own sampling
+        instance inside a single :meth:`~repro.sampler.CompiledSampler.run_superbatch`
+        launch sequence, and the per-request samples come back split
+        out.  The feature fetch still happens once for the whole fused
+        batch, over the *deduplicated* union of every request's nodes;
+        the rows saved versus per-request fetches are the amortization
+        the ``dedup_rows`` counter reports.
+        """
+        level = self._level
+        pipeline = self._pipelines[1 if level >= 1 else 0]
+        seed_batches = [r.seeds for r in batch]
+        total_seeds = sum(int(s.size) for s in seed_batches)
+        attrs: dict[str, object] = dict(
+            requests=len(batch), seeds=total_seeds, level=level
+        )
+        if self._labelled:
+            attrs["replica"] = self.replica_id
+        with self._span(f"serve_superbatch[{batch_id}]", "serve", **attrs):
+            with self.sample_ctx.on_queue(self._sample_queue, not_before=fire):
+                samples = pipeline.sample_superbatch(
+                    seed_batches, ctx=self.sample_ctx, rng=self._rng
                 )
-            completion = self.io_ctx.queue(self._transfer_queue).ready
+            sampled_at = self.sample_ctx.queue(self._sample_queue).ready
+            per_request = [sample.all_nodes for sample in samples]
+            nodes = np.unique(np.concatenate(per_request))
+            self.dedup_rows += sum(n.size for n in per_request) - int(
+                nodes.size
+            )
+            self.superbatch_requests += len(batch)
+            self.superbatch_batches += 1
+            completion = self._fetch_features(nodes, sampled_at, level)
+        self._complete(batch, fire, completion, batch_id, level)
+
+    def _fetch_features(
+        self, nodes: np.ndarray, sampled_at: float, level: int
+    ) -> float:
+        """Feature I/O for one batch's node set; returns its completion.
+
+        Shared tail of the joint and super-batched paths: cache lookup,
+        cross-shard interconnect hop for remotely-owned frontier nodes,
+        then the host feature read on the ``transfer`` queue.
+        """
+        if self.cache is not None:
+            hits, misses = self.cache.record_gather(nodes)
+        else:
+            hits, misses = 0, int(nodes.size)
+        cached_only = level >= MAX_DEGRADE_LEVEL and self.cache is not None
+        # Sharded replica: frontier nodes owned by other shards must
+        # hop the interconnect from their owner's device before the
+        # local feature read.  Cached-only service skips the hop the
+        # same way it skips PCIe — remote misses are answered from
+        # stale/default embeddings.
+        if self.shard is not None and not cached_only:
+            remote = self.shard.remote_count(nodes)
+            if remote > 0:
+                remote_bytes = remote * self._row_bytes
+                hop = self.link.transfer_time(remote_bytes)
+                with self.io_ctx.on_queue(
+                    self._transfer_queue, not_before=sampled_at
+                ):
+                    self.io_ctx.record(
+                        f"cross_shard_fetch[{self.link.name}]",
+                        tasks=remote,
+                        fixed_seconds=hop,
+                    )
+                self.cross_shard_rows += remote
+                self.cross_shard_bytes += remote_bytes
+                self.link_seconds += hop
+        # Cached-only service reads just the device-resident rows;
+        # misses are answered from stale/default embeddings instead
+        # of crossing PCIe — zero host traffic, smaller reads.
+        rows = hits if cached_only else int(nodes.size)
+        host_rows = 0 if cached_only else misses
+        with self.io_ctx.on_queue(
+            self._transfer_queue, not_before=sampled_at
+        ):
+            self.io_ctx.record(
+                "serve_feature_fetch",
+                bytes_read=rows * self._row_bytes,
+                bytes_written=rows * self._row_bytes,
+                tasks=max(rows, 1),
+                graph_bytes=host_rows * self._row_bytes,
+            )
+        return self.io_ctx.queue(self._transfer_queue).ready
+
+    def _complete(
+        self,
+        batch: list[Request],
+        fire: float,
+        completion: float,
+        batch_id: int,
+        level: int,
+    ) -> None:
+        """Fill every member's log and feed the SLO monitor."""
         for request in batch:
             log = self._by_rid[request.rid]
             log.start = fire

@@ -23,6 +23,15 @@ Policies:
   dominant seed shard (majority vote over the request's seed nodes,
   ties toward the lower shard).  Keeps sampling local to the owner at
   the price of ignoring queue imbalance.
+
+Routing is upstream of batch *composition*: the router only picks a
+replica, and the replica's own :class:`~repro.serve.compose.BatchComposer`
+decides how the requests it was given coalesce into sampler runs.  The
+two policies compose freely (the cluster layer plumbs a composer per
+replica, so a heterogeneous A/B cluster can sit behind any router), and
+the load signal stays the same either way: ``outstanding`` counts
+requests queued or in service, whether they will fire as one joint
+batch or one fused super-batch window.
 """
 
 from __future__ import annotations

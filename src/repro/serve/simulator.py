@@ -94,10 +94,16 @@ class ServeSimulator(Replica):
                 self.advance_until(request.arrival)
                 logs.append(self.offer(request))
             self.drain()
-        return summarize(
+        report = summarize(
             logs,
             cache=self.cache.epoch_stats() if self.cache is not None else None,
         )
+        report.composer = self.composer.name
+        report.padding_seeds = self.padding_seeds
+        report.dedup_rows = self.dedup_rows
+        report.superbatch_requests = self.superbatch_requests
+        report.superbatch_batches = self.superbatch_batches
+        return report
 
 
 def run_serve_session(
@@ -107,6 +113,7 @@ def run_serve_session(
     device: DeviceSpec,
     spec: WorkloadSpec | None = None,
     policy: ServePolicy | None = None,
+    composer: str = "fifo",
     cache_ratio: float = DEFAULT_CACHE_RATIO,
     seed: int = 0,
     profiler: Profiler | None = None,
@@ -130,6 +137,7 @@ def run_serve_session(
         policy=policy,
         num_replicas=1,
         router="round_robin",
+        composer=composer,
         cache_ratio=cache_ratio,
         seed=seed,
         profiler=profiler,

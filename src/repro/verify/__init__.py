@@ -21,6 +21,7 @@ from repro.verify.equivalence import (
     VerifySpec,
     builtin_specs,
     check_distribution_equivalence,
+    check_serving_equivalence,
     collect_edge_marginals,
     verification_graph,
     verify_algorithm,
@@ -46,6 +47,7 @@ __all__ = [
     "builtin_specs",
     "check_distribution_equivalence",
     "check_invariants",
+    "check_serving_equivalence",
     "chi2_homogeneity",
     "chi2_sf",
     "collect_edge_marginals",

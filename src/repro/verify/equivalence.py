@@ -36,6 +36,7 @@ __all__ = [
     "VerifySpec",
     "builtin_specs",
     "check_distribution_equivalence",
+    "check_serving_equivalence",
     "collect_edge_marginals",
     "verification_graph",
     "verify_algorithm",
@@ -281,6 +282,110 @@ def check_distribution_equivalence(
                 return [matrix for matrix, _ in results]
 
             variants.append((f"superbatch(x{superbatch_batches})", superbatch_run))
+
+    num_tests = len(variants)
+    checks: list[VariantCheck] = []
+    for index, (label, run_one) in enumerate(variants, start=1):
+        counts, sums = collect_edge_marginals(
+            run_one, trials=trials, seed=seed + index * _SEED_STRIDE
+        )
+        checks.append(
+            compare_to_oracle(
+                oracle_counts,
+                oracle_sums,
+                counts,
+                sums,
+                name=label,
+                trials=trials,
+                alpha=alpha,
+                num_tests=num_tests,
+            )
+        )
+    return EquivalenceReport(
+        program=name,
+        alpha=alpha,
+        trials=trials,
+        seed=seed,
+        num_tests=num_tests,
+        variants=checks,
+    )
+
+
+def check_serving_equivalence(
+    fn: Callable,
+    graph: Matrix,
+    seed_sets: list[np.ndarray],
+    *,
+    constants: dict | None = None,
+    tensors: dict[str, np.ndarray] | None = None,
+    trials: int = 120,
+    alpha: float = 0.01,
+    seed: int = 0,
+    name: str = "program",
+    debug: bool = True,
+) -> EquivalenceReport:
+    """Verify super-batch *serving* preserves per-request distributions.
+
+    The serving super-batch composer fuses the pending requests'
+    heterogeneous seed sets into one ``run_superbatch`` launch sequence
+    and splits the results back per request.  This trial holds that path
+    to the same statistical contract as training-time super-batching:
+    the oracle samples each request's seed set **individually** (the
+    per-request serving path), and for every ``OptimizationConfig``
+    combination the fused window executes all of ``seed_sets`` in one
+    super-batched run.  Both sides emit one matrix per request in the
+    same request order, so the pooled per-edge marginals are directly
+    comparable; any cross-request interference inside the fused window
+    (row-space collisions, RNG coupling, split mis-slicing) shifts the
+    marginals and fails the chi-square/KS comparison.
+    """
+    if trials < 1:
+        raise GSamplerError(f"verification needs at least 1 trial, got {trials}")
+    if not 0.0 < alpha < 1.0:
+        raise GSamplerError(f"alpha must be in (0, 1), got {alpha}")
+    if not seed_sets:
+        raise GSamplerError("serving verification needs at least one request")
+    seed_sets = [np.asarray(s) for s in seed_sets]
+    oracle = trace_oracle(
+        fn, graph, seed_sets[0], constants=constants, tensors=tensors
+    )
+
+    def oracle_run(rng: np.random.Generator) -> list[Matrix]:
+        return [
+            _sample_matrix(oracle.run(seeds, tensors=tensors, rng=rng))
+            for seeds in seed_sets
+        ]
+
+    oracle_counts, oracle_sums = collect_edge_marginals(
+        oracle_run, trials=trials, seed=seed
+    )
+
+    variants: list[tuple[str, Callable[[np.random.Generator], list[Matrix]]]] = []
+    for config in OptimizationConfig.all_combinations():
+        sampler = compile_sampler(
+            fn,
+            graph,
+            seed_sets[0],
+            constants=constants,
+            tensors=tensors,
+            config=config,
+            debug=debug,
+        )
+        if sampler.structure != ("leaf", "leaf"):
+            raise TraceError(
+                "serving verification requires the (matrix, "
+                "next_frontiers) one-layer contract"
+            )
+
+        def serve_run(
+            rng: np.random.Generator, _sampler: CompiledSampler = sampler
+        ) -> list[Matrix]:
+            results = _sampler.run_superbatch(
+                seed_sets, tensors=tensors, rng=rng
+            )
+            return [matrix for matrix, _ in results]
+
+        variants.append((f"serve-{config.label()}", serve_run))
 
     num_tests = len(variants)
     checks: list[VariantCheck] = []

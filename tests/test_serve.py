@@ -491,3 +491,191 @@ class TestServeCLI:
         code = main(["serve", "--requests", "8", "--max-batch", "0"])
         assert code == 2
         assert "error" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Batch-composition fingerprint pins (PR 6)
+# ----------------------------------------------------------------------
+# The digests pin the exact request-log + percentile fingerprint of each
+# composer on a fixed workload.  The FIFO digest predates the composer
+# refactor (it is the PR 5 single-replica pin): the pluggable-composer
+# batcher must reproduce the legacy batcher bit-for-bit.  The binned pin
+# uses a heterogeneous seed-count stream — on a uniform stream every
+# request lands in one bin and binned degenerates to FIFO.
+PIN_SPEC = WorkloadSpec(num_requests=192, arrival_rate=100_000.0, seed=11)
+PIN_HET_SPEC = WorkloadSpec(
+    num_requests=192,
+    arrival_rate=100_000.0,
+    seeds_per_request=4,
+    max_seeds_per_request=32,
+    seed=11,
+)
+PIN_POLICY = ServePolicy(max_batch=8, max_wait=5e-4, queue_capacity=32, slo=2e-3)
+FIFO_PIN = "a026a063925fbfbc035081d78798ab5fe441e64d7426000801a66ad8d9cc6c85"
+FIFO_HET_PIN = "501ad9a23f340338e2e394c7f393ea68d2b73509d22edc447756a0d26dc8d129"
+BINNED_PIN = "19dc9c7149fbed1b14e38e2cdc4e3a18edf99bef559e4e08f553688f05349092"
+SUPERBATCH_PIN = "4ae6250e329cd61d90f8846a77e0d56052599c45204edcb6b1c95112487919cb"
+
+
+def _digest(report):
+    import hashlib
+
+    return hashlib.sha256(repr(report.fingerprint()).encode()).hexdigest()
+
+
+class TestComposerPins:
+    def test_fifo_matches_pre_refactor_pin(self, pd):
+        _, report = run_serve_session(
+            pd,
+            device=V100,
+            spec=PIN_SPEC,
+            policy=PIN_POLICY,
+            composer="fifo",
+            seed=11,
+        )
+        assert report.composer == "fifo"
+        assert _digest(report) == FIFO_PIN
+
+    def test_default_composer_is_fifo_and_pinned(self, pd):
+        # Callers that never heard of composers get the legacy behavior.
+        _, report = run_serve_session(
+            pd, device=V100, spec=PIN_SPEC, policy=PIN_POLICY, seed=11
+        )
+        assert _digest(report) == FIFO_PIN
+
+    def test_binned_pin_on_heterogeneous_stream(self, pd):
+        _, report = run_serve_session(
+            pd,
+            device=V100,
+            spec=PIN_HET_SPEC,
+            policy=PIN_POLICY,
+            composer="binned",
+            seed=11,
+        )
+        assert report.composer == "binned"
+        assert _digest(report) == BINNED_PIN
+
+    def test_superbatch_pin(self, pd):
+        _, report = run_serve_session(
+            pd,
+            device=V100,
+            spec=PIN_SPEC,
+            policy=PIN_POLICY,
+            composer="superbatch",
+            seed=11,
+        )
+        assert report.composer == "superbatch"
+        assert _digest(report) == SUPERBATCH_PIN
+
+
+# ----------------------------------------------------------------------
+# Composer-specific serving behavior
+# ----------------------------------------------------------------------
+class TestComposedServing:
+    def test_binned_reduces_padding_vs_fifo(self, pd):
+        """On a heterogeneous stream, grouping by seed-count bin pads
+        fewer slots than FIFO's arbitrary arrival-order batches."""
+        pads = {}
+        for composer in ("fifo", "binned"):
+            _, report = run_serve_session(
+                pd,
+                device=V100,
+                spec=PIN_HET_SPEC,
+                policy=PIN_POLICY,
+                composer=composer,
+                seed=11,
+            )
+            assert report.completed + report.shed == PIN_HET_SPEC.num_requests
+            pads[composer] = report.padding_seeds
+        assert pads["binned"] < pads["fifo"]
+
+    def test_superbatch_counters_and_metrics(self, pd):
+        _, report = run_serve_session(
+            pd,
+            device=V100,
+            spec=PIN_SPEC,
+            policy=PIN_POLICY,
+            composer="superbatch",
+            seed=11,
+        )
+        # Every completed request went through the fused path.
+        assert report.superbatch_requests == report.completed
+        assert report.superbatch_batches > 0
+        assert report.superbatch_requests >= report.superbatch_batches
+        # The fused fetch deduplicates overlapping frontiers.
+        assert report.dedup_rows > 0
+        metrics = report.to_metrics()
+        assert metrics["superbatch_requests"] == report.superbatch_requests
+        assert metrics["dedup_rows"] == report.dedup_rows
+        assert metrics["mean_fused"] == pytest.approx(
+            report.superbatch_requests / report.superbatch_batches
+        )
+
+    def test_fifo_metrics_unchanged_by_refactor(self, pd):
+        """FIFO reports keep the exact pre-refactor metric keys — the
+        trajectory lanes committed in earlier PRs must not churn."""
+        _, report = run_serve_session(
+            pd, device=V100, spec=PIN_SPEC, policy=PIN_POLICY, seed=11
+        )
+        metrics = report.to_metrics()
+        for key in ("padding_seeds", "dedup_rows", "superbatch_requests",
+                    "mean_fused"):
+            assert key not in metrics
+
+    def test_superbatch_wins_under_overload(self, pd):
+        """The amortization claim at the knee: one fused launch sequence
+        per window beats per-batch launches once the queue saturates."""
+        spec = WorkloadSpec(
+            num_requests=256, arrival_rate=400_000.0, seed=0
+        )
+        policy = ServePolicy(
+            max_batch=8, max_wait=5e-4, queue_capacity=64, slo=None
+        )
+        results = {}
+        for composer in ("fifo", "superbatch"):
+            _, report = run_serve_session(
+                pd,
+                device=V100,
+                spec=spec,
+                policy=policy,
+                composer=composer,
+                seed=0,
+            )
+            results[composer] = report
+        fifo, sb = results["fifo"], results["superbatch"]
+        assert sb.throughput_rps >= 1.5 * fifo.throughput_rps
+        assert sb.p99_ms <= fifo.p99_ms
+
+    def test_superbatch_determinism(self, pd):
+        runs = [
+            run_serve_session(
+                pd,
+                device=V100,
+                spec=PIN_SPEC,
+                policy=PIN_POLICY,
+                composer="superbatch",
+                seed=11,
+            )[1]
+            for _ in range(2)
+        ]
+        assert runs[0].fingerprint() == runs[1].fingerprint()
+        assert runs[0].to_metrics() == runs[1].to_metrics()
+
+    def test_superbatch_window_helper(self, pd):
+        sim = ServeSimulator(
+            pd, device=V100, policy=PIN_POLICY, seed=0, composer="superbatch"
+        )
+        requests = generate_workload(
+            WorkloadSpec(num_requests=16, arrival_rate=1e5, seed=0),
+            num_nodes=pd.num_nodes,
+        )
+        window = sim.superbatch_window(requests)
+        assert window >= 1
+        with pytest.raises(ServeError):
+            sim.superbatch_window([])
+
+    def test_request_log_seeds_outside_fingerprint(self):
+        """The new per-request seed-count field is observability only:
+        it must not perturb the fingerprint key."""
+        log = RequestLog(rid=0, arrival=0.0, admitted=True, seeds=17)
+        assert 17 not in log.key()

@@ -148,3 +148,64 @@ class TestBonferroni:
     def test_rejects_bad_m(self):
         with pytest.raises(ValueError):
             bonferroni(0.5, 0)
+
+
+# ----------------------------------------------------------------------
+# Serving-mode statistical equivalence (PR 6)
+# ----------------------------------------------------------------------
+class TestServingEquivalence:
+    """Super-batch *serving* holds to the same distributional contract
+    as training-time super-batching: for every ``OptimizationConfig``
+    knob combination, fusing a window of heterogeneous per-request seed
+    sets into one ``run_superbatch`` launch sequence and splitting the
+    results back out must leave each request's per-edge sampling
+    marginals indistinguishable from sampling that request individually
+    (the per-request oracle path)."""
+
+    def test_superbatch_serving_matches_per_request_sampling(self, verify_graph):
+        from repro.core import new_rng
+        from repro.verify import check_serving_equivalence
+
+        def sage_layer(A, frontiers, K):
+            sub_A = A[:, frontiers]
+            sample_A = sub_A.individual_sample(K)
+            return sample_A, sample_A.row()
+
+        n = verify_graph.shape[0]
+        rng = new_rng(5)
+        # A heterogeneous serving window: request sizes 3..12, like the
+        # max_seeds_per_request streams the composer actually fuses.
+        seed_sets = [
+            rng.choice(n, size, replace=False) for size in (3, 12, 5, 8)
+        ]
+        report = check_serving_equivalence(
+            sage_layer,
+            verify_graph,
+            seed_sets,
+            constants={"K": 4},
+            trials=60,
+            alpha=0.01,
+            seed=0,
+        )
+        assert report.num_tests == 8  # the full OptimizationConfig grid
+        assert len(report.variants) == 8
+        labels = {v.name for v in report.variants}
+        assert labels == {
+            f"serve-C{c}D{d}B{b}"
+            for c in (0, 1) for d in (0, 1) for b in (0, 1)
+        }
+        assert report.passed, report.summary()
+
+    def test_rejects_empty_request_window(self, verify_graph):
+        from repro.errors import GSamplerError
+        from repro.verify import check_serving_equivalence
+
+        def sage_layer(A, frontiers, K):
+            sub_A = A[:, frontiers]
+            sample_A = sub_A.individual_sample(K)
+            return sample_A, sample_A.row()
+
+        with pytest.raises(GSamplerError):
+            check_serving_equivalence(
+                sage_layer, verify_graph, [], constants={"K": 4}
+            )
