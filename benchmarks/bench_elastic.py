@@ -1,0 +1,209 @@
+"""Fault tolerance & elasticity: chaos availability, elastic vs static.
+
+Two experiments on the serving control plane:
+
+* **Availability under failure** — a 2-replica cluster absorbs a
+  scheduled replica kill mid-stream.  With failover (the router masks
+  the corpse, orphans are retried) the service stays >= 99% available;
+  the blind baseline keeps routing half its traffic into the dead
+  replica and loses it all.  Hedged retries trade duplicate work for
+  tail latency on the replayed requests.
+* **Elastic vs static at equal GPU-hours** — a diurnal stream whose
+  peak needs the full 4-replica fleet but whose trough needs one.  The
+  autoscaler follows the curve (scale-ups at the peaks, scale-downs in
+  the troughs), meeting the SLO on a GPU-second budget that a *static*
+  fleet of equal cost cannot: the budget buys 3 always-on replicas,
+  which shed at the peaks, while the always-sufficient static 4 costs
+  more GPU-time than the elastic fleet burned.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table
+from repro.datasets import load_dataset
+from repro.device import V100
+from repro.serve import (
+    AutoscalePolicy,
+    FailureSpec,
+    ServePolicy,
+    WorkloadSpec,
+    run_cluster_session,
+)
+
+from benchmarks.conftest import BENCH_SCALE
+
+SLO = 2e-3
+
+#: The chaos stream: hot enough that both replicas carry real load when
+#: the kill lands.
+CHAOS_SPEC = WorkloadSpec(num_requests=300, arrival_rate=150_000.0, seed=7)
+CHAOS_POLICY = ServePolicy(max_batch=8, max_wait=5e-4, queue_capacity=32)
+
+#: The diurnal stream for the elastic comparison: 0.2x-1.8x sinusoid
+#: around 450k rps, several day cycles inside the run.
+DIURNAL_SPEC = WorkloadSpec(
+    num_requests=3000,
+    arrival_rate=450_000.0,
+    process="diurnal",
+    burst_period=4e-3,
+    seed=9,
+)
+DIURNAL_POLICY = ServePolicy(max_batch=8, max_wait=5e-4, queue_capacity=64)
+
+
+def _chaos_cell(ds, label, failures, *, num_replicas=2):
+    _, rep = run_cluster_session(
+        ds,
+        device=V100,
+        spec=CHAOS_SPEC,
+        policy=CHAOS_POLICY,
+        num_replicas=num_replicas,
+        router="jsq",
+        failures=failures,
+        seed=7,
+    )
+    return label, rep
+
+
+def test_availability_under_failure(report):
+    ds = load_dataset("pd", scale=BENCH_SCALE)
+    kill = dict(replica=1, time=8e-4)
+    cells = [
+        _chaos_cell(
+            ds,
+            "no failover (blind)",
+            FailureSpec.single_kill(orphans="shed", failover=False, **kill),
+        ),
+        _chaos_cell(
+            ds,
+            "failover, shed orphans",
+            FailureSpec.single_kill(orphans="shed", **kill),
+        ),
+        _chaos_cell(
+            ds,
+            "failover + retry",
+            FailureSpec.single_kill(**kill),
+        ),
+        _chaos_cell(
+            ds,
+            "failover + hedged retry (3x)",
+            FailureSpec.single_kill(hedge=True, **kill),
+            # Hedging needs a second surviving replica to duplicate to.
+            num_replicas=3,
+        ),
+    ]
+    rows = [
+        [
+            label,
+            f"{rep.availability:.4f}",
+            str(rep.lost),
+            str(rep.retried),
+            str(rep.hedged),
+            f"{rep.p99_ms:.3f}",
+        ]
+        for label, rep in cells
+    ]
+    by_label = dict(cells)
+    blind = by_label["no failover (blind)"]
+    retry = by_label["failover + retry"]
+    hedged = by_label["failover + hedged retry (3x)"]
+    # The acceptance bar: one kill with failover+retry stays >= 99%
+    # available; routing blindly into the corpse loses most of the
+    # session.
+    assert retry.availability >= 0.99
+    assert retry.lost == 0 and retry.retried > 0
+    assert blind.availability < 0.5
+    assert hedged.availability >= 0.99 and hedged.hedged > 0
+    report(
+        "elastic_availability",
+        format_table(
+            ["Failure handling", "Availability", "Lost", "Retried",
+             "Hedged", "p99 (ms)"],
+            rows,
+            title=(
+                f"Availability under one replica kill — graphsage on PD "
+                f"scale {BENCH_SCALE}, 2x V100, JSQ, "
+                f"{CHAOS_SPEC.num_requests} requests at "
+                f"{CHAOS_SPEC.arrival_rate:,.0f} rps, kill replica 1 at "
+                "0.8 ms"
+            ),
+        ),
+    )
+
+
+def test_elastic_vs_static_equal_gpu_hours(report):
+    ds = load_dataset("pd", scale=BENCH_SCALE)
+    autoscale = AutoscalePolicy(
+        min_replicas=2,
+        max_replicas=4,
+        interval=1e-4,
+        min_samples=16,
+        high_p99=1.2e-3,
+        high_occupancy=16.0,
+        low_occupancy=8.0,
+        cooldown=3e-4,
+        spinup=2e-4,
+    )
+    _, elastic = run_cluster_session(
+        ds,
+        device=V100,
+        spec=DIURNAL_SPEC,
+        policy=DIURNAL_POLICY,
+        num_replicas=2,
+        router="jsq",
+        autoscale=autoscale,
+        seed=9,
+    )
+    statics = {}
+    for n in (2, 3, 4):
+        _, statics[n] = run_cluster_session(
+            ds,
+            device=V100,
+            spec=DIURNAL_SPEC,
+            policy=DIURNAL_POLICY,
+            num_replicas=n,
+            router="jsq",
+            seed=9,
+        )
+
+    def row(label, rep, gpu_seconds):
+        return [
+            label,
+            f"{gpu_seconds * 1e3:.3f}",
+            f"{rep.slo_attainment(SLO):.4f}",
+            str(rep.shed),
+            f"{rep.p99_ms:.3f}",
+        ]
+
+    rows = [row("elastic 2..4", elastic, elastic.gpu_seconds)]
+    static_cost = {n: n * statics[n].makespan for n in statics}
+    for n, rep in statics.items():
+        rows.append(row(f"static {n}", rep, static_cost[n]))
+
+    # Equal GPU-hours: the largest static fleet affordable within the
+    # elastic run's GPU-second budget.
+    affordable = max(n for n in statics if static_cost[n] <= elastic.gpu_seconds)
+    peer = statics[affordable]
+    # The acceptance bar: at equal GPU-hours the elastic fleet's SLO
+    # attainment is at least the static fleet's — and here strictly
+    # better, because the static budget-peer sheds at the diurnal peaks.
+    assert elastic.slo_attainment(SLO) >= peer.slo_attainment(SLO)
+    assert elastic.slo_attainment(SLO) >= 0.999
+    assert elastic.scale_ups >= 1 and elastic.scale_downs >= 1
+    # The always-sufficient static 4 costs more GPU-time than elastic.
+    assert elastic.gpu_seconds < static_cost[4]
+    report(
+        "elastic_vs_static",
+        format_table(
+            ["Fleet", "GPU-time (ms)", "SLO attainment", "Shed", "p99 (ms)"],
+            rows,
+            title=(
+                f"Elastic vs static at equal GPU-hours — graphsage on PD "
+                f"scale {BENCH_SCALE}, V100, diurnal "
+                f"{DIURNAL_SPEC.arrival_rate:,.0f} rps baseline "
+                f"(0.2x-1.8x), {DIURNAL_SPEC.num_requests} requests, "
+                f"2 ms p99 SLO; equal-budget static peer: "
+                f"{affordable} replicas"
+            ),
+        ),
+    )

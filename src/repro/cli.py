@@ -276,6 +276,78 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit 3 when the comparator flags a regression",
     )
+    serve.add_argument(
+        "--kill",
+        action="append",
+        default=None,
+        metavar="R@MS[:DOWN_MS]",
+        help="inject a replica failure: kill replica R at the given "
+        "simulated millisecond, optionally reviving it DOWN_MS later "
+        "(repeatable; enables the failure control plane)",
+    )
+    serve.add_argument(
+        "--orphans",
+        default="retry",
+        choices=("retry", "shed"),
+        help="a dead replica's queued/in-flight requests are re-routed "
+        "(retry) or dropped and counted lost (shed)",
+    )
+    serve.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="re-route attempts per orphaned request before it is lost",
+    )
+    serve.add_argument(
+        "--hedge",
+        action="store_true",
+        help="duplicate retried requests to a second replica; the first "
+        "completion wins and the loser is cancelled in accounting",
+    )
+    serve.add_argument(
+        "--no-failover",
+        action="store_true",
+        help="keep the router blind to dead replicas (the availability "
+        "baseline the chaos benchmark contrasts)",
+    )
+    serve.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="enable the elastic autoscaler: the fleet is pre-built at "
+        "--max-replicas with standbys inactive, and replicas are "
+        "activated/drained on the windowed p99/occupancy signal",
+    )
+    serve.add_argument(
+        "--min-replicas",
+        type=int,
+        default=1,
+        help="autoscaler floor on active replicas",
+    )
+    serve.add_argument(
+        "--max-replicas",
+        type=int,
+        default=4,
+        help="autoscaler ceiling on active replicas (fleet size)",
+    )
+    serve.add_argument(
+        "--scale-interval-ms",
+        type=float,
+        default=1.0,
+        help="simulated ms between autoscaler evaluations",
+    )
+    serve.add_argument(
+        "--tune-batching",
+        action="store_true",
+        help="let the controller hill-climb each replica's "
+        "max-batch/max-wait online",
+    )
+    serve.add_argument(
+        "--min-availability",
+        type=float,
+        default=None,
+        help="exit 4 when availability (completed/offered) falls below "
+        "this fraction — the CI chaos-smoke gate",
+    )
 
     sub.add_parser("datasets", help="list catalog datasets")
     sub.add_parser("algorithms", help="list the 15 implemented algorithms")
@@ -569,6 +641,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         write_chrome_trace,
     )
     from repro.serve import (
+        AutoscalePolicy,
+        FailureEvent,
+        FailureSpec,
         ServePolicy,
         WorkloadSpec,
         make_composer,
@@ -583,6 +658,44 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     profiler = Profiler()
     partition = None if args.partition == "none" else args.partition
     try:
+        failures = None
+        if args.kill:
+            events = []
+            for kill in args.kill:
+                try:
+                    replica_part, _, when = kill.partition("@")
+                    when, _, down = when.partition(":")
+                    events.append(
+                        FailureEvent(
+                            time=float(when) * 1e-3,
+                            replica=int(replica_part),
+                            downtime=float(down) * 1e-3 if down else None,
+                        )
+                    )
+                except ValueError:
+                    print(
+                        f"error: bad --kill spec {kill!r} "
+                        "(expected R@MS or R@MS:DOWN_MS)",
+                        file=sys.stderr,
+                    )
+                    return 2
+            failures = FailureSpec(
+                events=tuple(events),
+                orphans=args.orphans,
+                max_retries=args.max_retries,
+                hedge=args.hedge,
+                failover=not args.no_failover,
+            )
+        autoscale = None
+        if args.autoscale:
+            autoscale = AutoscalePolicy(
+                min_replicas=args.min_replicas,
+                max_replicas=args.max_replicas,
+                interval=args.scale_interval_ms * 1e-3,
+                high_p99=args.slo_ms * 1e-3,
+                tune_batching=args.tune_batching,
+                max_batch=max(64, args.max_batch),
+            )
         spec = WorkloadSpec(
             num_requests=args.requests,
             arrival_rate=args.arrival_rate,
@@ -620,6 +733,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 cache_ratio=cache_ratio,
                 seed=args.seed,
                 profiler=profiler,
+                failures=failures,
+                autoscale=autoscale,
             )
     except GSamplerError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -656,6 +771,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                  f"(mean {report.superbatch_requests / report.superbatch_batches:.1f})"]
             )
             rows.append(["deduplicated feature rows", report.dedup_rows])
+    if report.elastic:
+        rows.append(
+            ["availability",
+             f"{report.availability:.2%} "
+             f"({report.completed} answered, {report.lost} lost, "
+             f"{report.shed} shed)"]
+        )
+        rows.append(
+            ["failures / retried / hedged",
+             f"{report.failures} / {report.retried} / "
+             f"{report.hedged} ({report.hedge_wins} hedge wins)"]
+        )
+        if report.scale_ups or report.scale_downs or report.tune_moves:
+            rows.append(
+                ["scale ops (up/down/tune)",
+                 f"{report.scale_ups} / {report.scale_downs} / "
+                 f"{report.tune_moves}"]
+            )
+        rows.append(
+            ["GPU-time (simulated ms)", f"{report.gpu_seconds * 1e3:.4f}"]
+        )
+        rows.append(
+            ["re-replication",
+             f"{report.reprovision_bytes / 2**20:.2f} MiB over the link"]
+        )
     if report.replicas > 1:
         rows.append(["replicas / router", f"{report.replicas} / {report.router}"])
         if simulator.partition is not None:
@@ -691,6 +831,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     )
     if report.replicas > 1:
+        headers = ["Replica", "Requests", "Done/Shed", "p50 (ms)",
+                   "p99 (ms)", "Batch", "Remote rows", "Link (ms)"]
         replica_rows = [
             [
                 stats.replica_id,
@@ -704,10 +846,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ]
             for stats in report.per_replica
         ]
+        if report.elastic:
+            headers += ["Up (ms)", "Kills"]
+            for row, stats in zip(replica_rows, report.per_replica):
+                row.append(f"{stats.uptime_seconds * 1e3:.4f}")
+                row.append(stats.failures)
         print(
             format_table(
-                ["Replica", "Requests", "Done/Shed", "p50 (ms)",
-                 "p99 (ms)", "Batch", "Remote rows", "Link (ms)"],
+                headers,
                 replica_rows,
                 title="Per-replica breakdown",
             )
@@ -746,6 +892,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     kind = "cluster" if args.replicas > 1 else "serve"
     if args.composer != "fifo":
         kind = f"{kind}_{args.composer}"
+    if report.elastic:
+        # Chaos/elastic sessions carry availability/scaling keys and a
+        # perturbed timeline, so they live in their own lane.
+        kind = "elastic"
     tag = f"{kind}_{args.algorithm}_{args.dataset}_{args.device}"
     trace_path = (
         pathlib.Path(args.trace_out)
@@ -789,11 +939,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         meta["link"] = simulator.link.name if simulator.link else "none"
         if args.max_seeds_per_request is not None:
             meta["max_seeds_per_request"] = args.max_seeds_per_request
+    if failures is not None:
+        meta["kills"] = list(args.kill)
+        meta["orphans"] = args.orphans
+        meta["max_retries"] = args.max_retries
+        meta["hedge"] = args.hedge
+        meta["failover"] = not args.no_failover
+    if autoscale is not None:
+        meta["autoscale"] = True
+        meta["min_replicas"] = args.min_replicas
+        meta["max_replicas"] = args.max_replicas
+        meta["scale_interval_ms"] = args.scale_interval_ms
+        meta["tune_batching"] = args.tune_batching
     record_path = bench_path(out_dir, tag)
     record, previous = append_record(
         record_path, tag=tag, meta=meta, metrics=metrics
     )
     print(f"trajectory: {record_path} (run {record['run']})")
+    if args.min_availability is not None:
+        gate = args.min_availability
+        if report.availability < gate:
+            print(
+                f"AVAILABILITY GATE FAILED: {report.availability:.2%} "
+                f"< {gate:.2%}"
+            )
+            return 4
+        print(
+            f"availability gate: {report.availability:.2%} >= {gate:.2%} OK"
+        )
     if previous is None:
         print("no previous record; comparator skipped")
         return 0

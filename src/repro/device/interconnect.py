@@ -69,6 +69,34 @@ class LinkSpec:
             return 0.0
         return self.latency + nbytes / self.bandwidth
 
+    def bulk_transfer_time(
+        self, nbytes: float, *, chunk_bytes: float = 64 * 2**20
+    ) -> float:
+        """Simulated seconds to *stream* ``nbytes`` in bounded chunks.
+
+        Re-replication (a revived or newly activated replica pulling its
+        shard, or its warm cache rows, from a peer) does not move one
+        giant message: real stacks pipeline bounded DMA chunks, paying
+        the per-transfer setup once per chunk.  Modeled as
+
+            ceil(nbytes / chunk_bytes) * latency + nbytes / bandwidth
+
+        which degrades to :meth:`transfer_time` for ``nbytes`` at or
+        under one chunk.
+        """
+        if nbytes < 0.0:
+            raise DeviceError(
+                f"{self.name}: cannot transfer {nbytes} bytes"
+            )
+        if chunk_bytes <= 0.0:
+            raise DeviceError(
+                f"{self.name}: chunk size must be positive, got {chunk_bytes}"
+            )
+        if nbytes == 0.0:
+            return 0.0
+        chunks = int(-(-nbytes // chunk_bytes))
+        return chunks * self.latency + nbytes / self.bandwidth
+
 
 #: NVLink 2.0 (V100 generation): 150 GB/s per direction, ~2 us effective
 #: per-transfer overhead once the software stack is counted.

@@ -26,6 +26,13 @@ device simulator's clock, for one replica or a routed cluster of them:
 * :mod:`repro.serve.cluster` — N replicas advanced in global
   simulated-time order behind one router, aggregated into a cluster
   report with per-replica and cross-shard-traffic breakdowns;
+* :mod:`repro.serve.failures` — deterministic chaos schedules: scheduled
+  replica kills, orphan retry/shed policy, hedged duplicates, optional
+  revival with re-replication charged over the interconnect;
+* :mod:`repro.serve.control` — the elastic control plane: a windowed
+  p99/occupancy-driven autoscaler (scale-up/down between arrivals, with
+  spin-up and re-replication charges) plus an online hill-climbing
+  tuner for each replica's ``max_batch``/``max_wait``;
 * :mod:`repro.serve.simulator` — the classic single-replica surface
   (:class:`ServeSimulator`, :func:`run_serve_session`), kept
   bit-identical to the pre-cluster subsystem;
@@ -39,6 +46,12 @@ the workload spec, topology, and simulator seed.
 """
 
 from repro.serve.cluster import ClusterSimulator, run_cluster_session
+from repro.serve.control import AutoscalePolicy, Autoscaler, ScaleEvent
+from repro.serve.failures import (
+    ORPHAN_POLICIES,
+    FailureEvent,
+    FailureSpec,
+)
 from repro.serve.compose import (
     COMPOSER_POLICIES,
     BatchComposer,
@@ -92,10 +105,15 @@ __all__ = [
     "LATENCY_PERCENTILES",
     "MAX_DEGRADE_LEVEL",
     "POLICY_PRESETS",
+    "ORPHAN_POLICIES",
     "ROUTER_POLICIES",
+    "AutoscalePolicy",
+    "Autoscaler",
     "BatchComposer",
     "BatchPlan",
     "ClusterSimulator",
+    "FailureEvent",
+    "FailureSpec",
     "FifoComposer",
     "JoinShortestQueueRouter",
     "PowerOfTwoRouter",
@@ -106,6 +124,7 @@ __all__ = [
     "RoundRobinRouter",
     "Router",
     "SERVE_CONFIGS",
+    "ScaleEvent",
     "ServePolicy",
     "ServeReport",
     "ServeSimulator",

@@ -24,11 +24,25 @@ PCIe otherwise) and surface in the report as cross-shard traffic.
 A 1-replica round-robin cluster replays the pre-refactor monolithic
 simulator decision-for-decision — the fingerprint-compat test holds
 ``run_serve_session`` to that, bit-identically.
+
+**The control plane.**  Two optional inputs extend the event loop past
+arrivals: a :class:`~repro.serve.failures.FailureSpec` (scheduled
+replica kills, orphan retry/hedging, optional revival) and an
+:class:`~repro.serve.control.AutoscalePolicy` (periodic scale-up /
+scale-down / batch-tuning ticks).  All control events merge into the
+same global time-ordered walk the arrivals already take — kills before
+revivals before ticks before arrivals at equal timestamps — so an
+elastic chaos session is exactly as deterministic as a static one.
+Without either input the event list contains only arrivals and the loop
+degenerates to the original, which is what keeps failure-free,
+autoscaler-off sessions bit-identical to their pinned fingerprints.
 """
 
 from __future__ import annotations
 
 import contextlib
+import dataclasses
+import math
 
 from repro.cache import DEFAULT_CACHE_RATIO, CacheStats
 from repro.datasets import Dataset
@@ -37,7 +51,14 @@ from repro.errors import ServeError
 from repro.partition import GraphPartition, make_partition
 from repro.profile.spans import Profiler
 from repro.serve.compose import BatchComposer, make_composer
-from repro.serve.metrics import ServeReport, replica_breakdown, summarize
+from repro.serve.control import AutoscalePolicy, Autoscaler
+from repro.serve.failures import FailureEvent, FailureSpec
+from repro.serve.metrics import (
+    RequestLog,
+    ServeReport,
+    replica_breakdown,
+    summarize,
+)
 from repro.serve.replica import (
     Replica,
     ServePolicy,
@@ -45,6 +66,11 @@ from repro.serve.replica import (
 )
 from repro.serve.router import Router, make_router
 from repro.serve.workload import Request, WorkloadSpec, generate_workload
+
+#: Same-timestamp event ordering: failures land before revivals before
+#: autoscale ticks before arrivals, so an arrival at the instant of a
+#: kill is routed by the post-kill fleet.
+_KILL, _REVIVE, _TICK, _ARRIVAL = range(4)
 
 
 class ClusterSimulator:
@@ -78,6 +104,18 @@ class ClusterSimulator:
         :class:`~repro.serve.compose.BatchComposer`, or a sequence of
         either with one entry per replica (heterogeneous clusters, e.g.
         an A/B lane comparing fifo vs super-batch under one router).
+    failures:
+        Optional :class:`~repro.serve.failures.FailureSpec`: scheduled
+        replica kills plus the orphan/failover policy.  Also flips the
+        router's ``mask_dead`` from the spec's ``failover`` flag.
+    autoscale:
+        Optional :class:`~repro.serve.control.AutoscalePolicy` (or a
+        pre-built :class:`~repro.serve.control.Autoscaler`).  The fleet
+        is pre-built at ``max_replicas`` with replicas beyond
+        ``num_replicas`` as inactive standbys, so scale-ups never
+        construct state mid-run (determinism).  Incompatible with a
+        graph partition: sharding ties the fleet size to the shard
+        count.
     """
 
     def __init__(
@@ -95,11 +133,41 @@ class ClusterSimulator:
         cache_ratio: float = DEFAULT_CACHE_RATIO,
         seed: int = 0,
         profiler: Profiler | None = None,
+        failures: FailureSpec | None = None,
+        autoscale: AutoscalePolicy | Autoscaler | None = None,
     ) -> None:
         if num_replicas < 1:
             raise ServeError(
                 f"cluster needs at least one replica, got {num_replicas}"
             )
+        if isinstance(autoscale, AutoscalePolicy):
+            autoscale = Autoscaler(autoscale)
+        self.autoscaler = autoscale
+        self.failures = failures
+        fleet = num_replicas
+        if autoscale is not None:
+            if partition is not None:
+                raise ServeError(
+                    "autoscaling is incompatible with a graph partition: "
+                    "sharding ties the fleet size to the shard count"
+                )
+            bounds = autoscale.policy
+            if not (
+                bounds.min_replicas <= num_replicas <= bounds.max_replicas
+            ):
+                raise ServeError(
+                    f"initial fleet of {num_replicas} lies outside the "
+                    f"autoscaler's [{bounds.min_replicas}, "
+                    f"{bounds.max_replicas}] bounds"
+                )
+            fleet = bounds.max_replicas
+        if failures is not None:
+            for event in failures.events:
+                if event.replica >= fleet:
+                    raise ServeError(
+                        f"failure schedule kills replica {event.replica} "
+                        f"but the fleet has {fleet} replicas"
+                    )
         self.dataset = dataset
         self.algorithm = algorithm
         self.device = device
@@ -126,15 +194,17 @@ class ClusterSimulator:
             if isinstance(router, Router)
             else make_router(router, seed=seed, partition=partition)
         )
+        if failures is not None:
+            self.router.mask_dead = failures.failover
         if isinstance(composer, (list, tuple)):
-            if len(composer) != num_replicas:
+            if len(composer) != fleet:
                 raise ServeError(
-                    f"got {len(composer)} composers for {num_replicas} "
+                    f"got {len(composer)} composers for {fleet} "
                     "replicas (one per replica)"
                 )
             composers = [make_composer(c) for c in composer]
         else:
-            composers = [make_composer(composer)] * num_replicas
+            composers = [make_composer(composer)] * fleet
         names = {c.name for c in composers}
         #: Session-level composer label: the shared policy name, or
         #: ``"mixed"`` for a heterogeneous cluster.
@@ -154,12 +224,17 @@ class ClusterSimulator:
                 replica_id=i,
                 pipelines=pipelines,
                 composer=composers[i],
-                queue_prefix=f"r{i}:" if num_replicas > 1 else "",
+                queue_prefix=f"r{i}:" if fleet > 1 else "",
                 shard=partition.view(i) if partition is not None else None,
                 link=link if partition is not None else None,
+                active=i < num_replicas,
             )
-            for i in range(num_replicas)
+            for i in range(fleet)
         ]
+        # Control-plane session counters (reset per run()).
+        self._kills_executed = 0
+        self._hedge_wins = 0
+        self._reprovision_bytes = 0
 
     # ------------------------------------------------------------------
     @property
@@ -195,31 +270,259 @@ class ClusterSimulator:
         return self.profiler.span(name, category, **attrs)
 
     # ------------------------------------------------------------------
+    # Control-plane execution
+    # ------------------------------------------------------------------
+    def _build_events(self, ordered: list[Request]) -> list[tuple]:
+        """Merge arrivals, kills, revivals, and autoscale ticks into one
+        time-ordered walk (ties broken by the event-kind priority, then
+        by schedule position / rid — fully deterministic)."""
+        events: list[tuple] = [
+            (request.arrival, _ARRIVAL, request.rid, request)
+            for request in ordered
+        ]
+        if self.failures is not None:
+            for idx, event in enumerate(self.failures.events):
+                events.append((event.time, _KILL, idx, event))
+                if event.downtime is not None:
+                    events.append(
+                        (event.time + event.downtime, _REVIVE, idx, event)
+                    )
+        if self.autoscaler is not None and ordered:
+            horizon = ordered[-1].arrival
+            interval = self.autoscaler.policy.interval
+            tick = 1
+            while tick * interval <= horizon:
+                events.append((tick * interval, _TICK, tick, None))
+                tick += 1
+        events.sort(key=lambda e: (e[0], e[1], e[2]))
+        return events
+
+    def _append_log(self, rid: int, log: RequestLog) -> None:
+        self._log_index[rid] = len(self._logs)
+        self._logs.append(log)
+
+    def _lost_log(
+        self, request: Request, replica: int
+    ) -> RequestLog:
+        """An admitted-but-never-answered record (cluster-level loss)."""
+        return RequestLog(
+            rid=request.rid,
+            arrival=request.arrival,
+            admitted=True,
+            replica=replica,
+            seeds=int(request.seeds.size),
+        )
+
+    def _route_arrival(self, now: float, request: Request) -> None:
+        """Route one arrival through the (possibly reduced) fleet."""
+        if not self.router.eligible(self.replicas, now):
+            # Nobody to ask: admitted by the cluster, never answered.
+            self._append_log(request.rid, self._lost_log(request, -1))
+            return
+        target = self.router.route(request, self.replicas, now)
+        if not 0 <= target < len(self.replicas):
+            raise ServeError(
+                f"router {self.router.name!r} returned replica "
+                f"{target} of {len(self.replicas)}"
+            )
+        replica = self.replicas[target]
+        if not replica.routable(now):
+            # The no-failover baseline: a blind router keeps sending
+            # arrivals to the corpse, and they die with it.
+            self._append_log(request.rid, self._lost_log(request, target))
+            return
+        self._append_log(request.rid, replica.offer(request))
+
+    def _reprovision(
+        self, replica: Replica, now: float, not_before: float
+    ) -> float:
+        """Charge a replica's state re-replication stream; its seconds.
+
+        A revived or newly activated replica does not start cold: its
+        shard (partitioned cluster) or its warm feature-cache rows
+        (unpartitioned) stream back from a peer over the cluster
+        interconnect, on the replica's transfer queue — so its first
+        post-recovery batches also queue behind the stream.
+        """
+        if replica.shard is not None:
+            rows = replica.shard.num_nodes
+        elif replica.cache is not None:
+            rows = replica.cache.cached_rows
+        else:
+            rows = 0
+        nbytes = rows * replica._row_bytes
+        if nbytes == 0:
+            return 0.0
+        link = (
+            self.link
+            if self.link is not None
+            else default_link_for(self.device.name)
+        )
+        seconds = link.bulk_transfer_time(nbytes)
+        with replica.io_ctx.on_queue(
+            replica._transfer_queue, not_before=not_before
+        ):
+            replica.io_ctx.record(
+                f"reprovision[{link.name}]",
+                tasks=rows,
+                fixed_seconds=seconds,
+            )
+        self._reprovision_bytes += nbytes
+        return seconds
+
+    def _execute_kill(self, now: float, event: FailureEvent) -> None:
+        replica = self.replicas[event.replica]
+        if not replica.alive:
+            return
+        orphans = replica.kill(now)
+        self._kills_executed += 1
+        if self.failures.orphans == "shed":
+            # Orphaned logs stay admitted-but-incomplete: lost.
+            return
+        for request, log, _was_in_flight in orphans:
+            self._reroute(now, request, log)
+
+    def _reroute(self, now: float, request: Request, log: RequestLog) -> None:
+        """Re-route one orphaned request, hedging if the spec asks."""
+        spec = self.failures
+        candidates = self._hedges.get(request.rid)
+        if candidates is not None:
+            # One copy of a hedged request died; the survivor (if any)
+            # carries on and this copy is simply cancelled.
+            remaining = [c for c in candidates if c is not log]
+            if remaining:
+                self._hedges[request.rid] = remaining
+                return
+            del self._hedges[request.rid]
+        if log.retries >= spec.max_retries:
+            return  # retry budget exhausted: lost
+        eligible = self.router.eligible(self.replicas, now)
+        if not eligible:
+            return  # nowhere to go: lost
+        # The retry re-enters the batcher *now*; its log keeps the
+        # original arrival so the measured latency includes the failure.
+        retry = dataclasses.replace(request, arrival=now)
+        target = self.router.route(retry, self.replicas, now)
+        primary = self.replicas[target]
+        if not primary.routable(now):
+            return  # blind router picked a corpse: lost
+        new_log = primary.offer(retry)
+        if not new_log.admitted:
+            return  # target queue full — admitted once, never answered
+        new_log.arrival = log.arrival
+        new_log.retries = log.retries + 1
+        self._logs[self._log_index[request.rid]] = new_log
+        if spec.hedge:
+            others = [
+                i
+                for i in eligible
+                if i != target and self.replicas[i].routable(now)
+            ]
+            if others:
+                hedge_log = self.replicas[others[0]].offer(retry)
+                if hedge_log.admitted:
+                    hedge_log.arrival = log.arrival
+                    hedge_log.retries = new_log.retries
+                    new_log.hedged = True
+                    hedge_log.hedged = True
+                    self._hedges[request.rid] = [new_log, hedge_log]
+
+    def _execute_revive(self, now: float, event: FailureEvent) -> None:
+        replica = self.replicas[event.replica]
+        if replica.alive:
+            return
+        spinup = self.failures.spinup
+        transfer = self._reprovision(replica, now, now + spinup)
+        replica.revive(now, available_from=now + spinup + transfer)
+
+    def _autoscale_tick(self, now: float) -> None:
+        scaler = self.autoscaler
+        policy = scaler.policy
+        decision = scaler.decide(now, self.replicas)
+        if decision == "up":
+            standby = next(
+                (r for r in self.replicas if not r.active and r.alive), None
+            )
+            if standby is not None:
+                transfer = self._reprovision(
+                    standby, now, now + policy.spinup
+                )
+                standby.activate(
+                    now, available_from=now + policy.spinup + transfer
+                )
+                scaler.record(
+                    now,
+                    "up",
+                    standby.replica_id,
+                    sum(1 for r in self.replicas if r.active),
+                )
+        elif decision == "down":
+            actives = [r for r in self.replicas if r.active and r.alive]
+            if len(actives) > policy.min_replicas:
+                victim = actives[-1]
+                victim.deactivate(now)
+                scaler.record(
+                    now,
+                    "down",
+                    victim.replica_id,
+                    sum(1 for r in self.replicas if r.active),
+                )
+        scaler.tune(now, self.replicas)
+
+    def _resolve_hedges(self) -> None:
+        """First completion wins; the duplicate is cancelled in
+        accounting (its device time stays burned, its log is dropped)."""
+        for rid, candidates in self._hedges.items():
+            done = [c for c in candidates if c.completed]
+            if not done:
+                continue  # both copies died: the log in place stays lost
+            winner = min(done, key=lambda c: c.completion)
+            if winner is not candidates[0]:
+                self._hedge_wins += 1
+            self._logs[self._log_index[rid]] = winner
+
+    # ------------------------------------------------------------------
     def run(self, requests: list[Request]) -> ServeReport:
         """Serve the whole stream across the cluster; aggregate report.
 
         The log list is kept in global arrival order (the order arrivals
         were routed), so the cluster fingerprint is the same shape as a
         single replica's and the 1-replica case is bit-identical to the
-        pre-refactor monolith.
+        pre-refactor monolith.  Without a failure spec or autoscaler the
+        event list holds only arrivals and this loop replays the
+        pre-control-plane walk exactly.
         """
         ordered = sorted(requests, key=lambda r: (r.arrival, r.rid))
-        logs = []
+        control = self.failures is not None or self.autoscaler is not None
+        self._logs: list[RequestLog] = []
+        self._log_index: dict[int, int] = {}
+        self._hedges: dict[int, list[RequestLog]] = {}
+        self._kills_executed = 0
+        self._hedge_wins = 0
+        self._reprovision_bytes = 0
+        events = self._build_events(ordered)
         with self._span("serve_session", "serve", requests=len(ordered)):
-            for request in ordered:
+            for time, kind, _seq, payload in events:
                 for replica in self.replicas:
-                    replica.advance_until(request.arrival)
-                target = self.router.route(
-                    request, self.replicas, request.arrival
-                )
-                if not 0 <= target < len(self.replicas):
-                    raise ServeError(
-                        f"router {self.router.name!r} returned replica "
-                        f"{target} of {len(self.replicas)}"
-                    )
-                logs.append(self.replicas[target].offer(request))
+                    replica.advance_until(time)
+                if kind == _ARRIVAL:
+                    self._route_arrival(time, payload)
+                elif kind == _KILL:
+                    self._execute_kill(time, payload)
+                elif kind == _REVIVE:
+                    self._execute_revive(time, payload)
+                else:
+                    self._autoscale_tick(time)
             for replica in self.replicas:
                 replica.drain()
+        self._resolve_hedges()
+        logs = self._logs
+        if control:
+            end = max(
+                (r.last_completion for r in self.replicas), default=0.0
+            )
+            for replica in self.replicas:
+                replica.close_meter(end)
         report = summarize(
             logs,
             cache=CacheStats.merged(
@@ -248,6 +551,17 @@ class ClusterSimulator:
         report.superbatch_batches = sum(
             r.superbatch_batches for r in self.replicas
         )
+        if control:
+            report.elastic = True
+            report.failures = self._kills_executed
+            report.hedge_wins = self._hedge_wins
+            report.gpu_seconds = sum(r.up_seconds for r in self.replicas)
+            report.reprovision_bytes = self._reprovision_bytes
+            if self.autoscaler is not None:
+                actions = [e.action for e in self.autoscaler.events]
+                report.scale_ups = actions.count("up")
+                report.scale_downs = actions.count("down")
+                report.tune_moves = actions.count("tune")
         return report
 
 
@@ -266,12 +580,15 @@ def run_cluster_session(
     cache_ratio: float = DEFAULT_CACHE_RATIO,
     seed: int = 0,
     profiler: Profiler | None = None,
+    failures: FailureSpec | None = None,
+    autoscale: AutoscalePolicy | Autoscaler | None = None,
 ) -> tuple[ClusterSimulator, ServeReport]:
     """One-call cluster session: build, generate workload, serve, report.
 
     This is the cell the CLI, the cluster benchmark, and the determinism
-    guards all go through, so a fixed (spec, policy, topology, seed)
-    tuple names exactly one reproducible session.
+    guards all go through, so a fixed (spec, policy, topology, seed,
+    failure schedule, autoscale policy) tuple names exactly one
+    reproducible session.
     """
     cluster = ClusterSimulator(
         dataset,
@@ -286,6 +603,8 @@ def run_cluster_session(
         cache_ratio=cache_ratio,
         seed=seed,
         profiler=profiler,
+        failures=failures,
+        autoscale=autoscale,
     )
     workload = cluster.build_workload(
         spec if spec is not None else WorkloadSpec(seed=seed)

@@ -1,0 +1,260 @@
+"""The serving control plane: elastic autoscaling and batch autotuning.
+
+The degradation ladder (PR 4) already computes a sliding-window p99 per
+replica; this module turns that signal — plus queue occupancy — into
+*replica lifecycle* decisions instead of fidelity ones.  An
+:class:`Autoscaler` is evaluated by the cluster at a fixed simulated
+interval, between arrivals:
+
+* **scale up** when the pooled windowed p99 breaches ``high_p99`` or
+  mean outstanding-per-replica exceeds ``high_occupancy``: the lowest-id
+  standby replica is activated, pays the spin-up latency plus a
+  re-replication transfer over the interconnect (its shard, or its warm
+  cache rows, must stream in before it is routable);
+* **scale down** when p99 sits below ``low_p99`` *and* occupancy below
+  ``low_occupancy``: the highest-id active replica stops receiving
+  traffic and drains what it holds.  GPU-time accounting
+  (``ServeReport.gpu_seconds``) closes its meter when the drain ends,
+  so "elastic vs static at equal GPU-hours" is an honest comparison;
+* a **cooldown** separates consecutive scale operations, the standard
+  guard against control-loop flapping.
+
+The same controller optionally *autotunes batching* per replica
+(``tune_batching``): a deterministic hill-climber doubles or halves
+``max_batch`` (scaling ``max_wait`` with it) and keeps the direction
+while the replica's windowed p99 improves, reversing when it worsens —
+the knee-finding loop from the batching benchmark, run online.
+
+Everything here is deterministic: decisions are pure functions of the
+simulated clock and the replicas' windowed signals, so an elastic
+session fingerprints as reproducibly as a static one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ServeError
+from repro.stats import percentile
+
+__all__ = ["AutoscalePolicy", "Autoscaler", "ScaleEvent"]
+
+
+@dataclasses.dataclass(frozen=True)
+class AutoscalePolicy:
+    """Control-law knobs for the elastic autoscaler."""
+
+    #: Active-replica bounds the controller must respect.
+    min_replicas: int = 1
+    max_replicas: int = 4
+    #: Seconds between controller evaluations (simulated).
+    interval: float = 1e-3
+    #: Windowed completions required before latency signals are trusted.
+    min_samples: int = 16
+    #: Pooled windowed p99 (seconds) above which the fleet grows.
+    high_p99: float = 2e-3
+    #: p99 below which (together with low occupancy) the fleet shrinks.
+    #: Defaults to half the high threshold.
+    low_p99: float | None = None
+    #: Mean outstanding requests per active replica to scale up at.
+    high_occupancy: float = 8.0
+    #: Occupancy below which scale-down is allowed.
+    low_occupancy: float = 1.0
+    #: Minimum seconds between consecutive scale operations.
+    cooldown: float = 2e-3
+    #: Process-start latency a newly activated replica pays before its
+    #: re-replication transfer begins.
+    spinup: float = 1e-3
+    #: Hill-climb ``max_batch``/``max_wait`` per replica on the same
+    #: evaluation ticks.
+    tune_batching: bool = False
+    #: Bounds for the tuner's ``max_batch`` hill-climb.
+    min_batch: int = 1
+    max_batch: int = 64
+
+    def __post_init__(self) -> None:
+        if self.min_replicas < 1:
+            raise ServeError(
+                f"min replicas must be at least 1, got {self.min_replicas}"
+            )
+        if self.max_replicas < self.min_replicas:
+            raise ServeError(
+                f"max replicas ({self.max_replicas}) must be >= min "
+                f"replicas ({self.min_replicas})"
+            )
+        if self.interval <= 0.0:
+            raise ServeError(
+                f"autoscale interval must be positive, got {self.interval}"
+            )
+        if self.high_p99 <= 0.0:
+            raise ServeError(
+                f"high p99 threshold must be positive, got {self.high_p99}"
+            )
+        if self.low_p99 is not None and not (
+            0.0 < self.low_p99 < self.high_p99
+        ):
+            raise ServeError(
+                f"low p99 threshold must lie in (0, high_p99), got "
+                f"{self.low_p99}"
+            )
+        if self.low_occupancy < 0.0 or self.high_occupancy <= self.low_occupancy:
+            raise ServeError(
+                "occupancy thresholds must satisfy 0 <= low < high, got "
+                f"low={self.low_occupancy} high={self.high_occupancy}"
+            )
+        if self.cooldown < 0.0:
+            raise ServeError(
+                f"cooldown must be non-negative, got {self.cooldown}"
+            )
+        if self.spinup < 0.0:
+            raise ServeError(
+                f"spin-up delay must be non-negative, got {self.spinup}"
+            )
+        if self.min_samples < 1:
+            raise ServeError(
+                f"min samples must be positive, got {self.min_samples}"
+            )
+        if not 1 <= self.min_batch <= self.max_batch:
+            raise ServeError(
+                "tuner batch bounds must satisfy 1 <= min <= max, got "
+                f"min={self.min_batch} max={self.max_batch}"
+            )
+
+    @property
+    def scale_in_p99(self) -> float:
+        """The effective low-p99 threshold (default ``high_p99 / 2``)."""
+        return self.low_p99 if self.low_p99 is not None else self.high_p99 / 2.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ScaleEvent:
+    """One executed control action, for the report's scale log."""
+
+    time: float
+    #: ``"up"``, ``"down"``, or ``"tune"``.
+    action: str
+    #: Replica the action targeted.
+    replica: int
+    #: Active replicas *after* the action (tune: the new max_batch).
+    detail: int
+
+
+class _TunerState:
+    """Per-replica hill-climber memory (direction + last observed p99)."""
+
+    __slots__ = ("direction", "last_p99")
+
+    def __init__(self) -> None:
+        self.direction = 1  # start optimistic: grow the batch
+        self.last_p99: float | None = None
+
+
+class Autoscaler:
+    """Evaluates the control law over the cluster's live replicas.
+
+    The cluster owns replica lifecycle (activation, reprovision charges,
+    uptime meters); the autoscaler owns the *decision*: given the
+    simulated clock and the replica list, should the fleet grow, shrink,
+    or hold — and how should each replica's batching knobs move.  Keeping
+    the decision pure (no side effects beyond its own cooldown/tuner
+    memory) is what keeps elastic sessions deterministic.
+    """
+
+    def __init__(self, policy: AutoscalePolicy) -> None:
+        self.policy = policy
+        self._last_scale_at = -float("inf")
+        self._tuners: dict[int, _TunerState] = {}
+        self.events: list[ScaleEvent] = []
+
+    # ------------------------------------------------------------------
+    def pooled_p99(self, replicas: list) -> tuple[float, int]:
+        """Pooled windowed p99 over the active replicas' SLO monitors.
+
+        Returns ``(p99_seconds, sample_count)``; the caller treats the
+        latency signal as untrusted below ``min_samples``.
+        """
+        samples: list[float] = []
+        for replica in replicas:
+            if replica.active and replica.alive:
+                samples.extend(replica._latency_window.values())
+        return percentile(samples, 99.0), len(samples)
+
+    def occupancy(self, replicas: list, now: float) -> float:
+        """Mean outstanding requests per *routable* active replica."""
+        live = [
+            r for r in replicas if r.active and r.alive
+            and now >= r.available_from
+        ]
+        if not live:
+            return float("inf")
+        return sum(r.outstanding(now) for r in live) / len(live)
+
+    def decide(self, now: float, replicas: list) -> str | None:
+        """``"up"``, ``"down"``, or ``None`` for this evaluation tick."""
+        policy = self.policy
+        active = sum(1 for r in replicas if r.active and r.alive)
+        if now - self._last_scale_at < policy.cooldown:
+            return None
+        p99, samples = self.pooled_p99(replicas)
+        occupancy = self.occupancy(replicas, now)
+        latency_hot = samples >= policy.min_samples and p99 > policy.high_p99
+        latency_cold = samples >= policy.min_samples and p99 < policy.scale_in_p99
+        if (
+            (latency_hot or occupancy > policy.high_occupancy)
+            and active < policy.max_replicas
+        ):
+            return "up"
+        if (
+            latency_cold
+            and occupancy < policy.low_occupancy
+            and active > policy.min_replicas
+        ):
+            return "down"
+        return None
+
+    def record(self, now: float, action: str, replica: int, detail: int) -> None:
+        """Log an executed action and start the cooldown clock."""
+        if action in ("up", "down"):
+            self._last_scale_at = now
+        self.events.append(
+            ScaleEvent(time=now, action=action, replica=replica, detail=detail)
+        )
+
+    # ------------------------------------------------------------------
+    def tune(self, now: float, replicas: list) -> int:
+        """One hill-climbing step of each active replica's batching knobs.
+
+        Doubles or halves ``max_batch`` (scaling ``max_wait``
+        proportionally, floored at 50 simulated microseconds) in the
+        direction that last improved the replica's windowed p99,
+        reversing on regression.  Returns the number of replicas whose
+        policy actually moved.
+        """
+        if not self.policy.tune_batching:
+            return 0
+        moved = 0
+        for replica in replicas:
+            if not (replica.active and replica.alive):
+                continue
+            window = replica._latency_window
+            if len(window) < self.policy.min_samples:
+                continue
+            p99 = window.percentile(99.0)
+            state = self._tuners.setdefault(replica.replica_id, _TunerState())
+            if state.last_p99 is not None and p99 > state.last_p99:
+                state.direction = -state.direction
+            state.last_p99 = p99
+            old = replica.policy.max_batch
+            new = old * 2 if state.direction > 0 else old // 2
+            new = max(self.policy.min_batch, min(self.policy.max_batch, new))
+            if new == old:
+                continue
+            scale = new / old
+            replica.policy = dataclasses.replace(
+                replica.policy,
+                max_batch=new,
+                max_wait=max(5e-5, replica.policy.max_wait * scale),
+            )
+            self.record(now, "tune", replica.replica_id, new)
+            moved += 1
+        return moved

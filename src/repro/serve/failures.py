@@ -1,0 +1,163 @@
+"""Failure injection for the serving cluster: who dies, when, and what
+happens to the requests they were holding.
+
+A :class:`FailureSpec` is a *schedule*, not a process: every kill (and
+optional revival) is a concrete ``(time, replica)`` pair, so a fixed
+spec names exactly one deterministic chaos experiment — the same
+property the workload specs have.  The seeded constructor
+(:meth:`FailureSpec.random`) draws a schedule from its own
+:class:`numpy.random.Generator` stream once, up front; after that the
+spec is as reproducible as a hand-written one.
+
+Failure semantics (executed by
+:class:`~repro.serve.cluster.ClusterSimulator`):
+
+* a **kill** at time ``t`` removes the replica from service instantly:
+  its waiting queue is orphaned and every in-flight batch whose
+  completion lies after ``t`` dies with the device (the simulated time
+  those batches burned stays burned — the work was really done, the
+  answer just never made it out);
+* **orphans** are either ``"retry"``-ed — re-routed through the router
+  at time ``t`` with a bounded per-request retry budget, optionally
+  *hedged* (a duplicate sent to a second replica; the first completion
+  wins and the loser is cancelled in accounting) — or ``"shed"``
+  (dropped on the floor and counted as lost);
+* with ``failover`` enabled the routers stop selecting dead replicas;
+  without it the router stays blind and every request sent to a dead
+  replica is lost — the baseline the availability benchmark contrasts;
+* a kill with a ``downtime`` **revives**: at ``t + downtime`` the
+  replacement process starts, pays the spec's ``spinup`` plus a
+  re-replication transfer (its shard — or its warm feature-cache rows —
+  stream back over the interconnect), and only then becomes routable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core import new_rng
+from repro.errors import ServeError
+
+#: What happens to a dead replica's queued + in-flight requests.
+ORPHAN_POLICIES = ("retry", "shed")
+
+
+@dataclasses.dataclass(frozen=True)
+class FailureEvent:
+    """One scheduled replica kill (and optional revival)."""
+
+    #: Simulated second the replica dies.
+    time: float
+    #: Replica id to kill.
+    replica: int
+    #: Seconds until a replacement process starts; ``None`` = never.
+    downtime: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0.0:
+            raise ServeError(
+                f"failure time must be non-negative, got {self.time}"
+            )
+        if self.replica < 0:
+            raise ServeError(
+                f"failure replica id must be non-negative, got {self.replica}"
+            )
+        if self.downtime is not None and self.downtime <= 0.0:
+            raise ServeError(
+                "failure downtime must be positive (or None for a "
+                f"permanent kill), got {self.downtime}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class FailureSpec:
+    """A deterministic chaos schedule plus the failover policy knobs."""
+
+    events: tuple[FailureEvent, ...]
+    #: ``"retry"`` re-routes orphaned requests, ``"shed"`` drops them.
+    orphans: str = "retry"
+    #: Re-route attempts per request before it is declared lost.
+    max_retries: int = 2
+    #: Send retried requests to *two* replicas; first completion wins.
+    hedge: bool = False
+    #: Mask dead replicas from the routers.  ``False`` keeps the
+    #: routers blind (requests sent to a corpse are lost) — the
+    #: no-failover baseline.
+    failover: bool = True
+    #: Process-start latency a revived replica pays before its
+    #: re-replication transfer even begins.
+    spinup: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.orphans not in ORPHAN_POLICIES:
+            raise ServeError(
+                f"unknown orphan policy {self.orphans!r}; available: "
+                f"{list(ORPHAN_POLICIES)}"
+            )
+        if self.max_retries < 0:
+            raise ServeError(
+                f"max retries must be non-negative, got {self.max_retries}"
+            )
+        if self.spinup < 0.0:
+            raise ServeError(
+                f"spin-up delay must be non-negative, got {self.spinup}"
+            )
+        # Tuple-ify so hand-built lists validate too.
+        object.__setattr__(self, "events", tuple(self.events))
+
+    @classmethod
+    def single_kill(
+        cls,
+        replica: int,
+        time: float,
+        *,
+        downtime: float | None = None,
+        **kwargs: object,
+    ) -> "FailureSpec":
+        """The one-kill schedule the chaos smoke test runs."""
+        return cls(
+            events=(
+                FailureEvent(time=time, replica=replica, downtime=downtime),
+            ),
+            **kwargs,
+        )
+
+    @classmethod
+    def random(
+        cls,
+        *,
+        num_kills: int,
+        num_replicas: int,
+        horizon: float,
+        seed: int = 0,
+        downtime: float | None = None,
+        **kwargs: object,
+    ) -> "FailureSpec":
+        """A seeded schedule: ``num_kills`` uniform over ``(0, horizon)``.
+
+        Victims are drawn uniformly over replica ids; the schedule is
+        fixed once drawn, so two specs built from equal arguments are
+        identical (the chaos determinism test's contract).
+        """
+        if num_kills < 1:
+            raise ServeError(
+                f"a chaos schedule needs at least one kill, got {num_kills}"
+            )
+        if num_replicas < 1:
+            raise ServeError(
+                f"need at least one replica to kill, got {num_replicas}"
+            )
+        if horizon <= 0.0:
+            raise ServeError(
+                f"chaos horizon must be positive, got {horizon}"
+            )
+        rng = new_rng(seed)
+        times = sorted(float(t) for t in rng.uniform(0.0, horizon, num_kills))
+        victims = [int(v) for v in rng.integers(0, num_replicas, num_kills)]
+        return cls(
+            events=tuple(
+                FailureEvent(time=t, replica=v, downtime=downtime)
+                for t, v in zip(times, victims)
+            ),
+            **kwargs,
+        )

@@ -66,6 +66,13 @@ class RequestLog:
     #: diagnostics).  Outside :meth:`key` for the same reason as
     #: ``replica``: the fingerprint predates the composer layer.
     seeds: int = 0
+    #: Times this request was re-routed after its replica died.  Outside
+    #: :meth:`key` (the fingerprint predates the failure layer; the
+    #: failure-free path always has 0 here).
+    retries: int = 0
+    #: True when a retry was duplicated to a second replica (the
+    #: surviving log is the winning copy).  Outside :meth:`key` likewise.
+    hedged: bool = False
 
     @property
     def completed(self) -> bool:
@@ -111,6 +118,10 @@ class ReplicaStats:
     #: Simulated seconds spent on the interconnect for those rows.
     link_seconds: float
     cache: CacheStats | None
+    #: In-service simulated seconds (the per-replica GPU-time meter).
+    uptime_seconds: float = 0.0
+    #: Kills this replica absorbed during the session.
+    failures: int = 0
 
 
 @dataclasses.dataclass
@@ -159,10 +170,58 @@ class ServeReport:
     #: number of fused runs they amortized into.
     superbatch_requests: int = 0
     superbatch_batches: int = 0
+    #: True when the session ran under the control plane (failure
+    #: injection and/or the autoscaler).  All fields below stay at their
+    #: defaults otherwise, so classic reports — and :meth:`to_metrics` —
+    #: are unchanged from the pre-control-plane subsystem.
+    elastic: bool = False
+    #: Replica kills executed by the failure schedule.
+    failures: int = 0
+    #: Admitted requests that never completed (died with a replica, ran
+    #: out of retries, or found no routable replica).  Distinct from
+    #: ``shed``, which counts requests *refused* at admission.
+    lost: int = 0
+    #: Completed requests that survived at least one re-route.
+    retried: int = 0
+    #: Completed requests whose retry was duplicated to a second replica.
+    hedged: int = 0
+    #: Hedged requests where the duplicate (not the primary retry) won.
+    hedge_wins: int = 0
+    #: Autoscaler actions executed.
+    scale_ups: int = 0
+    scale_downs: int = 0
+    #: Batching-knob moves the online tuner made.
+    tune_moves: int = 0
+    #: Summed per-replica in-service simulated seconds — the GPU-hours
+    #: denominator of the elastic-vs-static comparison.
+    gpu_seconds: float = 0.0
+    #: Shard / warm-cache bytes streamed to revived or newly activated
+    #: replicas over the interconnect.
+    reprovision_bytes: int = 0
 
     @property
     def shed_rate(self) -> float:
         return self.shed / self.requests if self.requests else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of offered requests that were answered."""
+        return self.completed / self.requests if self.requests else 1.0
+
+    def slo_attainment(self, slo: float) -> float:
+        """Fraction of offered requests answered within ``slo`` seconds.
+
+        Shed and lost requests count as misses — an unanswered request
+        can't have met its deadline — which is what makes attainment the
+        honest elastic-vs-static scoreboard (a fleet can't win it by
+        shedding its way to a clean p99).
+        """
+        if not self.requests:
+            return 1.0
+        within = sum(
+            1 for log in self.logs if log.completed and log.latency <= slo
+        )
+        return within / self.requests
 
     def fingerprint(self) -> tuple:
         """Order-sensitive digest of the full request log + percentiles.
@@ -211,6 +270,19 @@ class ServeReport:
                 if self.superbatch_batches
                 else 0.0
             )
+        if self.elastic:
+            # Elastic/chaos sessions append to their own BENCH_elastic_*
+            # trajectory, so these keys never perturb the classic lanes.
+            metrics["availability"] = self.availability
+            metrics["lost"] = float(self.lost)
+            metrics["retried"] = float(self.retried)
+            metrics["hedged"] = float(self.hedged)
+            metrics["failures"] = float(self.failures)
+            metrics["scale_ups"] = float(self.scale_ups)
+            metrics["scale_downs"] = float(self.scale_downs)
+            metrics["tune_moves"] = float(self.tune_moves)
+            metrics["gpu_seconds"] = self.gpu_seconds
+            metrics["reprovision_bytes"] = float(self.reprovision_bytes)
         return metrics
 
 
@@ -258,6 +330,9 @@ def summarize(
         batch_histogram=dict(sorted(batches.items())),
         cache=cache,
         logs=logs,
+        lost=sum(1 for log in logs if log.admitted and not log.completed),
+        retried=sum(1 for log in logs if log.completed and log.retries > 0),
+        hedged=sum(1 for log in logs if log.completed and log.hedged),
     )
 
 
@@ -303,6 +378,8 @@ def replica_breakdown(
                     if replica.cache is not None
                     else None
                 ),
+                uptime_seconds=replica.up_seconds,
+                failures=replica.failures,
             )
         )
     return out

@@ -32,6 +32,19 @@ replica, so a heterogeneous A/B cluster can sit behind any router), and
 the load signal stays the same either way: ``outstanding`` counts
 requests queued or in service, whether they will fire as one joint
 batch or one fused super-batch window.
+
+**Fleet membership vs failover.**  Every router sees only the replicas
+currently *in* the fleet: autoscaler standbys, scaled-down replicas, and
+replicas still inside their spin-up window are never selected —
+membership changes are control-plane actions a real balancer is told
+about.  Death is different: a crash is only visible through health
+checks, so masking dead replicas is opt-in via ``mask_dead`` (set by the
+cluster from ``FailureSpec.failover``).  With it off the router stays
+blind and keeps sending arrivals to the corpse — the no-failover
+baseline the availability benchmark contrasts.  When every replica is
+eligible, each policy takes a fast path that replays the pre-failover
+code exactly, which is what keeps failure-free sessions bit-identical
+to their pins.
 """
 
 from __future__ import annotations
@@ -53,6 +66,26 @@ class Router:
 
     name = "base"
 
+    #: Skip replicas a failure event killed.  Set by the cluster from
+    #: ``FailureSpec.failover``; off, the router stays blind to deaths
+    #: (the no-failover baseline) but still respects fleet membership.
+    mask_dead = True
+
+    def eligible(self, replicas: list[Replica], now: float) -> list[int]:
+        """Replica indices this router may select at ``now``.
+
+        Fleet membership (``active``, spin-up complete) always gates;
+        liveness gates only under ``mask_dead``.
+        """
+        out = []
+        for i, replica in enumerate(replicas):
+            if not replica.active or now < replica.available_from:
+                continue
+            if self.mask_dead and not replica.alive:
+                continue
+            out.append(i)
+        return out
+
     def route(
         self, request: Request, replicas: list[Replica], now: float
     ) -> int:
@@ -60,7 +93,7 @@ class Router:
 
 
 class RoundRobinRouter(Router):
-    """Cycle through replicas in arrival order, ignoring their state."""
+    """Cycle through replicas in arrival order, ignoring their load."""
 
     name = "round_robin"
 
@@ -70,7 +103,12 @@ class RoundRobinRouter(Router):
     def route(
         self, request: Request, replicas: list[Replica], now: float
     ) -> int:
-        target = self._next % len(replicas)
+        eligible = self.eligible(replicas, now)
+        if len(eligible) == len(replicas):
+            # Full fleet: the original modular walk, bit-identical.
+            target = self._next % len(replicas)
+        else:
+            target = eligible[self._next % len(eligible)]
         self._next += 1
         return target
 
@@ -93,8 +131,9 @@ class JoinShortestQueueRouter(Router):
     def route(
         self, request: Request, replicas: list[Replica], now: float
     ) -> int:
-        loads = [replica.outstanding(now) for replica in replicas]
-        return min(range(len(replicas)), key=lambda i: (loads[i], i))
+        eligible = self.eligible(replicas, now)
+        loads = {i: replicas[i].outstanding(now) for i in eligible}
+        return min(eligible, key=lambda i: (loads[i], i))
 
 
 class PowerOfTwoRouter(Router):
@@ -102,7 +141,10 @@ class PowerOfTwoRouter(Router):
 
     The classic load-balancing result: two random choices close most of
     the gap to full JSQ.  Draws come from this router's own seeded
-    generator, so a fixed seed fixes the whole routing sequence.
+    generator, so a fixed seed fixes the whole routing sequence.  With a
+    reduced fleet the two draws come from the eligible subset (one
+    eligible replica short-circuits without consuming a draw, so the
+    post-recovery stream realigns with the full-fleet one).
     """
 
     name = "po2"
@@ -113,11 +155,21 @@ class PowerOfTwoRouter(Router):
     def route(
         self, request: Request, replicas: list[Replica], now: float
     ) -> int:
-        n = len(replicas)
-        if n == 1:
-            return 0
-        first, second = self._rng.choice(n, size=2, replace=False)
-        a, b = int(first), int(second)
+        eligible = self.eligible(replicas, now)
+        if len(eligible) == 1:
+            return eligible[0]
+        if len(eligible) == len(replicas):
+            # Full fleet: draw over raw indices, bit-identical to the
+            # pre-failover stream.
+            first, second = self._rng.choice(
+                len(replicas), size=2, replace=False
+            )
+            a, b = int(first), int(second)
+        else:
+            first, second = self._rng.choice(
+                len(eligible), size=2, replace=False
+            )
+            a, b = eligible[int(first)], eligible[int(second)]
         load_a = replicas[a].outstanding(now)
         load_b = replicas[b].outstanding(now)
         if load_a == load_b:
@@ -129,9 +181,14 @@ class ShardAffinityRouter(Router):
     """Route each request to the replica owning its dominant seed shard.
 
     The dominant shard is the one holding the most of the request's seed
-    nodes (ties toward the lower shard id — deterministic).  Shard ``s``
-    maps onto replica ``s mod N``, which is the identity in the intended
-    deployment (one shard per replica).
+    nodes (ties toward the lower shard id — deterministic; a request
+    with *no* seeds degenerates to shard 0 by the same rule).  Shard
+    ``s`` maps onto replica ``s mod N``, which is the identity in the
+    intended deployment (one shard per replica).  When the owner is not
+    eligible, failover walks the remaining shards in descending seed
+    count (ties toward the lower shard id) and falls back to the
+    lowest-id eligible replica — the deterministic spill order the
+    failover tests pin.
     """
 
     name = "shard"
@@ -144,7 +201,18 @@ class ShardAffinityRouter(Router):
     ) -> int:
         shards = self.partition.shard_of(request.seeds)
         counts = np.bincount(shards, minlength=self.partition.num_shards)
-        return int(counts.argmax()) % len(replicas)
+        eligible = self.eligible(replicas, now)
+        if len(eligible) == len(replicas):
+            return int(counts.argmax()) % len(replicas)
+        eligible_set = set(eligible)
+        by_count = sorted(
+            range(len(counts)), key=lambda s: (-int(counts[s]), s)
+        )
+        for shard in by_count:
+            target = shard % len(replicas)
+            if target in eligible_set:
+                return target
+        return eligible[0]
 
 
 def make_router(

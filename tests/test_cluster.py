@@ -174,8 +174,18 @@ class TestRouterDeterminism:
 class _StubReplica:
     """Minimal stand-in exposing the router-facing load signal."""
 
-    def __init__(self, load: int) -> None:
+    def __init__(
+        self,
+        load: int,
+        *,
+        active: bool = True,
+        alive: bool = True,
+        available_from: float = 0.0,
+    ) -> None:
         self._load = load
+        self.active = active
+        self.alive = alive
+        self.available_from = available_from
 
     def outstanding(self, now: float) -> int:
         return self._load
@@ -268,6 +278,84 @@ class TestRouterCorrectness:
     def test_shard_router_requires_partition(self):
         with pytest.raises(ServeError):
             make_router("shard")
+
+
+class TestRouterEdgeCases:
+    def test_outstanding_excludes_completion_exactly_at_now(self, pd):
+        """An in-flight entry whose batch completes exactly at ``now`` is
+        answered, not outstanding: the prune keeps strictly-later
+        completions only."""
+        replica = Replica(pd, device=V100, policy=REFERENCE_POLICY, seed=0)
+        sentinel = object()
+        replica._in_flight = [(1.0, sentinel), (2.0, sentinel)]
+        assert replica.outstanding(0.5) == 2
+        assert replica.outstanding(1.0) == 1  # t == now is done
+        assert replica.outstanding(2.0) == 0
+        # The prune is destructive: earlier entries stay gone.
+        assert replica._in_flight == []
+
+    def test_shard_router_empty_seeds_degenerates_to_shard_zero(self, pd):
+        partition = make_partition("hash", pd.graph, 2, seed=0)
+        router = make_router("shard", partition=partition)
+        replicas = [_StubReplica(0), _StubReplica(0)]
+        from repro.serve import Request
+
+        req = Request(rid=0, arrival=0.0, seeds=np.array([], dtype=np.int64))
+        assert router.route(req, replicas, 0.0) == 0
+
+    def test_po2_equal_loads_uses_its_draw_not_index_bias(self):
+        """With all loads equal, po2 must return the lower index of its
+        two drawn candidates — and identical seeds give identical pick
+        sequences regardless of fleet-wide ties."""
+        picks_a = []
+        picks_b = []
+        for picks, seed in ((picks_a, 9), (picks_b, 9)):
+            router = make_router("po2", seed=seed)
+            replicas = [_StubReplica(3) for _ in range(4)]
+            picks.extend(
+                router.route(_stub_request(), replicas, 0.0)
+                for _ in range(64)
+            )
+        assert picks_a == picks_b
+        # Ties break to the lower index of the drawn pair, so the top
+        # index can never win a fleet-wide tie — but the rest spread.
+        assert 3 not in picks_a
+        assert set(picks_a) == {0, 1, 2}
+
+    def test_po2_single_eligible_short_circuits(self):
+        router = make_router("po2", seed=0)
+        replicas = [
+            _StubReplica(0, alive=False),
+            _StubReplica(7),
+            _StubReplica(0, active=False),
+        ]
+        picks = {router.route(_stub_request(), replicas, 0.0) for _ in range(8)}
+        assert picks == {1}
+
+    def test_routers_mask_dead_replicas(self):
+        dead_mid = [_StubReplica(0), _StubReplica(0, alive=False), _StubReplica(0)]
+        rr = make_router("round_robin")
+        assert {rr.route(_stub_request(), dead_mid, 0.0) for _ in range(6)} == {0, 2}
+        jsq = JoinShortestQueueRouter()
+        loaded = [_StubReplica(9), _StubReplica(0, alive=False), _StubReplica(3)]
+        assert jsq.route(_stub_request(), loaded, 0.0) == 2
+
+    def test_blind_router_still_targets_the_corpse(self):
+        rr = RoundRobinRouter()
+        rr.mask_dead = False
+        dead_mid = [_StubReplica(0), _StubReplica(0, alive=False), _StubReplica(0)]
+        picks = [rr.route(_stub_request(), dead_mid, 0.0) for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_not_yet_available_replica_is_not_routable(self):
+        warming = [_StubReplica(0), _StubReplica(0, available_from=5.0)]
+        jsq = JoinShortestQueueRouter()
+        assert jsq.route(_stub_request(), warming, 0.0) == 0
+        # Once the warm-up elapses it competes again (tie -> lowest id,
+        # but with equal loads replica 1 is now eligible).
+        rr = make_router("round_robin")
+        picks = {rr.route(_stub_request(), warming, 6.0) for _ in range(4)}
+        assert picks == {0, 1}
 
 
 # ----------------------------------------------------------------------

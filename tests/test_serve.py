@@ -679,3 +679,113 @@ class TestComposedServing:
         it must not perturb the fingerprint key."""
         log = RequestLog(rid=0, arrival=0.0, admitted=True, seeds=17)
         assert 17 not in log.key()
+
+
+# ----------------------------------------------------------------------
+# Serving-loop regressions (the PR 7 bugfix sweep)
+# ----------------------------------------------------------------------
+class TestServeLoopRegressions:
+    def test_in_flight_stays_bounded_over_long_stream(self, pd):
+        """``_in_flight`` once grew one entry per request for the whole
+        session (pruned only when ``outstanding()`` happened to be
+        called); it must stay bounded by concurrent in-service work."""
+        spec = WorkloadSpec(num_requests=600, arrival_rate=150_000.0, seed=3)
+        policy = ServePolicy(max_batch=8, max_wait=5e-4, queue_capacity=64)
+        sim = ServeSimulator(pd, device=V100, policy=policy, seed=3)
+        report = sim.run(sim.build_workload(spec))
+        assert report.completed > 500
+        # Never called outstanding(): the bound must come from the
+        # completion-path prune alone.  Leak regression would leave
+        # ~report.completed entries here.
+        assert len(sim._in_flight) <= 64
+
+    def test_superbatch_window_probes_both_pipelines(self, pd):
+        """The fusion window must fit whichever pipeline the ladder
+        executes — the most conservative answer over full-fidelity *and*
+        degraded compiled layers, not just ``_pipelines[0]``."""
+        sim = ServeSimulator(
+            pd, device=V100, policy=PIN_POLICY, seed=0, composer="superbatch"
+        )
+        requests = generate_workload(
+            WorkloadSpec(num_requests=16, arrival_rate=1e5, seed=0),
+            num_nodes=pd.num_nodes,
+        )
+        budget = int(V100.memory_capacity * 0.25)
+        seed_sets = [r.seeds for r in requests]
+        per_pipeline = [
+            min(
+                sampler.choose_superbatch_size(
+                    seed_sets, memory_budget=budget, max_size=64
+                )
+                for sampler in pipeline.samplers
+            )
+            for pipeline in sim._pipelines
+        ]
+        window = sim.superbatch_window(requests)
+        assert window == min(per_pipeline)
+        # And in particular no larger than what the degraded pipeline
+        # admits (the pre-fix code ignored it entirely).
+        assert window <= per_pipeline[1]
+
+    def _ladder_transitions(self, sim, latencies):
+        """Feed synthetic completions; return the push index of every
+        ladder transition."""
+        transitions = []
+        for i, latency in enumerate(latencies):
+            before = sim._level
+            sim._observe(latency)
+            if sim._level != before:
+                transitions.append(i)
+        return transitions
+
+    def test_ladder_waits_min_samples_per_level(self, pd):
+        """A step overload must move the ladder one rung per
+        ``min_samples`` completions, not cascade on stale samples."""
+        policy = ServePolicy(
+            max_batch=8,
+            max_wait=5e-4,
+            queue_capacity=None,
+            slo=1e-3,
+            min_samples=16,
+        )
+        sim = ServeSimulator(pd, device=V100, policy=policy, seed=0)
+        # Step change: every completion suddenly breaches the SLO.
+        transitions = self._ladder_transitions(sim, [5e-3] * 48)
+        assert sim._level == 2
+        assert len(transitions) == 2
+        # Each rung waited a full window of post-transition samples.
+        assert transitions[0] == 15
+        assert transitions[1] - transitions[0] >= policy.min_samples
+
+    def test_ladder_recovery_waits_min_samples_per_level(self, pd):
+        policy = ServePolicy(
+            max_batch=8,
+            max_wait=5e-4,
+            queue_capacity=None,
+            slo=1e-3,
+            min_samples=16,
+        )
+        sim = ServeSimulator(pd, device=V100, policy=policy, seed=0)
+        sim._level = 2
+        # Step recovery: latencies land well under recover_margin * slo.
+        transitions = self._ladder_transitions(sim, [1e-4] * 48)
+        assert sim._level == 0
+        assert len(transitions) == 2
+        assert transitions[1] - transitions[0] >= policy.min_samples
+
+    def test_ladder_no_flapping_at_boundary(self, pd):
+        """Latencies straddling the SLO must not toggle the ladder every
+        sample: at most one transition per ``min_samples`` pushes."""
+        policy = ServePolicy(
+            max_batch=8,
+            max_wait=5e-4,
+            queue_capacity=None,
+            slo=1e-3,
+            min_samples=16,
+        )
+        sim = ServeSimulator(pd, device=V100, policy=policy, seed=0)
+        # Alternate just-over / just-under the SLO for 160 completions.
+        latencies = [1.05e-3 if i % 2 else 0.95e-3 for i in range(160)]
+        transitions = self._ladder_transitions(sim, latencies)
+        for a, b in zip(transitions, transitions[1:]):
+            assert b - a >= policy.min_samples
