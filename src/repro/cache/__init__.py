@@ -5,13 +5,34 @@ far more bytes gathering features than sampling structure, and feature
 accesses are as skewed as the graph's degree distribution — caching the
 hottest nodes' rows on device removes most of the PCIe traffic.  This
 package provides the degree-ordered static cache the pipelined epoch
-executor (:mod:`repro.pipeline`) charges feature gathers through.
+executor (:mod:`repro.pipeline`) charges feature gathers through, plus
+the multi-tier store (:mod:`repro.cache.tiered`) that extends it past
+HBM scale: device HBM -> sibling HBM over the interconnect -> pinned
+host DRAM -> a remote/disk tier.
 """
 
 from repro.cache.feature_cache import (
     DEFAULT_CACHE_RATIO,
     CacheStats,
     FeatureCache,
+    admit_rows,
+)
+from repro.cache.tiered import (
+    DEFAULT_HOST_TIER_RATIO,
+    REMOTE_TIER,
+    GatherSplit,
+    TieredFeatureStore,
+    TierSpec,
 )
 
-__all__ = ["DEFAULT_CACHE_RATIO", "CacheStats", "FeatureCache"]
+__all__ = [
+    "DEFAULT_CACHE_RATIO",
+    "DEFAULT_HOST_TIER_RATIO",
+    "REMOTE_TIER",
+    "CacheStats",
+    "FeatureCache",
+    "GatherSplit",
+    "TierSpec",
+    "TieredFeatureStore",
+    "admit_rows",
+]

@@ -35,24 +35,105 @@ from repro.errors import MemoryBudgetError, ShapeError
 DEFAULT_CACHE_RATIO = 0.10
 
 
+def admit_rows(
+    pool: MemoryPool, row_bytes: int, want: int, tag: str
+) -> tuple[int, Allocation | None]:
+    """Pin the largest row count ``<= want`` whose bytes fit in ``pool``.
+
+    The common case — the full plan fits — is a single allocation.  Under
+    a tight budget the boundary is found by binary search between the
+    last failing and first fitting size, so the result is the *largest*
+    fitting count, not an up-to-2x-smaller halving artifact.  Probe
+    allocations are freed (and the probe's cached block trimmed) before
+    the next probe, so a failure leaves the pool exactly as it was and
+    success leaves exactly one live allocation.
+    """
+    rows = want
+    if rows <= 0:
+        return 0, None
+    try:
+        return rows, pool.alloc(rows * row_bytes, tag=tag)
+    except MemoryBudgetError:
+        pass
+    # Invariant: lo fits (zero rows fit vacuously), hi does not.
+    lo, hi = 0, rows
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        try:
+            probe = pool.alloc(mid * row_bytes, tag=tag)
+        except MemoryBudgetError:
+            hi = mid
+            continue
+        pool.free(probe)
+        pool.trim()
+        lo = mid
+    if lo == 0:
+        return 0, None
+    return lo, pool.alloc(lo * row_bytes, tag=tag)
+
+
 @dataclasses.dataclass
 class CacheStats:
-    """Per-epoch hit/miss accounting snapshot."""
+    """Per-epoch hit/miss accounting snapshot.
+
+    The tier fields default to zero so a flat single-tier
+    :class:`FeatureCache` produces exactly the pre-tier snapshot; a
+    :class:`~repro.cache.tiered.TieredFeatureStore` breaks its misses
+    down by where the row actually lived (``misses`` stays the total of
+    all non-device-resident lookups, so ``hit_rate`` keeps meaning
+    "served at device bandwidth" across both store kinds).
+    """
 
     cached_rows: int
     requested_rows: int
     cached_bytes: int
     hits: int
     misses: int
+    #: Rows served from a sibling replica's HBM over the interconnect.
+    p2p_hits: int = 0
+    #: Rows served from the pinned-host tier (PCIe zero-copy reads).
+    host_hits: int = 0
+    #: Rows served from the remote/disk tier.
+    remote_hits: int = 0
+    #: Size of the pinned-host tier, in rows (0 for flat caches).
+    host_rows: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
+        total = self.lookups
         return self.hits / total if total else 0.0
+
+    def tier_rate(self, tier: str) -> float:
+        """Fraction of lookups answered by ``tier``.
+
+        ``tier`` is one of ``device``/``p2p``/``host``/``remote``; the
+        four rates sum to 1 for a tiered store (a flat cache has
+        everything outside ``device`` folded into ``host``-free
+        ``misses``, so only ``device`` is meaningful there).
+        """
+        total = self.lookups
+        if not total:
+            return 0.0
+        counts = {
+            "device": self.hits,
+            "p2p": self.p2p_hits,
+            "host": self.host_hits,
+            "remote": self.remote_hits,
+        }
+        return counts[tier] / total
 
     @property
     def evicted_rows(self) -> int:
-        """Rows the requested ratio wanted but the budget refused."""
+        """Rows the requested ratio wanted but the budget refused.
+
+        A released cache reports zero here: :meth:`FeatureCache.release`
+        clears ``requested_rows`` along with the pinned rows, so a
+        voluntary teardown is never mistaken for budget pressure.
+        """
         return self.requested_rows - self.cached_rows
 
     @classmethod
@@ -73,6 +154,10 @@ class CacheStats:
             cached_bytes=sum(s.cached_bytes for s in present),
             hits=sum(s.hits for s in present),
             misses=sum(s.misses for s in present),
+            p2p_hits=sum(s.p2p_hits for s in present),
+            host_hits=sum(s.host_hits for s in present),
+            remote_hits=sum(s.remote_hits for s in present),
+            host_rows=sum(s.host_rows for s in present),
         )
 
 
@@ -128,17 +213,11 @@ class FeatureCache:
     ) -> tuple[int, Allocation | None]:
         """Pin the largest degree-ordered prefix of ``want`` that fits.
 
-        Eviction is from the cold tail (halving steps, the same probe
-        shape as ``choose_superbatch_size``); a pool that cannot take a
-        single granule leaves the cache empty and the pool untouched.
+        Eviction is from the cold tail, boundary found by binary search
+        (:func:`admit_rows`); a pool that cannot take a single granule
+        leaves the cache empty and the pool untouched.
         """
-        rows = min(want, len(order))
-        while rows > 0:
-            try:
-                return rows, self.pool.alloc(rows * self.row_bytes, tag=tag)
-            except MemoryBudgetError:
-                rows //= 2
-        return 0, None
+        return admit_rows(self.pool, self.row_bytes, min(want, len(order)), tag)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -148,10 +227,33 @@ class FeatureCache:
         *,
         ratio: float = DEFAULT_CACHE_RATIO,
         pool: MemoryPool,
+        owned_mask: np.ndarray | None = None,
     ) -> "FeatureCache":
-        """The standard policy: rank by in-degree of the dataset graph."""
+        """The standard policy: rank by in-degree of the dataset graph.
+
+        ``owned_mask`` is the sharded-replica variant: when a replica
+        owns a :class:`~repro.partition.ShardView` and shard-affinity
+        routing sends it mostly owned-shard traffic, ranking by *global*
+        degree pins hot rows the replica rarely serves.  With a mask,
+        owned nodes rank by their degree and every non-owned node is
+        scored below the coldest owned node, so the budget goes to rows
+        this replica will actually be asked for (non-owned rows are
+        still admissible last, if the plan is larger than the shard).
+        Without a mask (shardless replicas, the training pipeline) the
+        global ranking is the explicit fallback.
+        """
         csc = dataset.graph.get("csc")
         degrees = np.diff(csc.indptr)
+        if owned_mask is not None:
+            owned_mask = np.asarray(owned_mask, dtype=bool)
+            if owned_mask.shape != degrees.shape:
+                raise ShapeError(
+                    f"owned mask shape {owned_mask.shape} != nodes "
+                    f"({degrees.shape[0]},)"
+                )
+            scores = degrees.astype(np.float64)
+            scores[~owned_mask] = -1.0
+            return cls(dataset.features, scores, ratio=ratio, pool=pool)
         return cls(dataset.features, degrees, ratio=ratio, pool=pool)
 
     # ------------------------------------------------------------------
@@ -200,9 +302,15 @@ class FeatureCache:
         self._misses = 0
 
     def release(self) -> None:
-        """Return the pinned bytes to the pool (idempotent)."""
+        """Return the pinned bytes to the pool (idempotent).
+
+        Also clears ``requested_rows``: a released cache wants nothing,
+        so :attr:`CacheStats.evicted_rows` reads 0 afterwards instead of
+        reporting the whole plan as if the budget had refused it.
+        """
         if self.allocation is not None:
             self.pool.free(self.allocation)
             self.allocation = None
             self.cached_ids = self.cached_ids[:0]
             self._is_cached[:] = False
+            self.requested_rows = 0

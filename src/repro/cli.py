@@ -143,6 +143,33 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         help="training epochs to simulate (pipeline mode)",
     )
+    profile.add_argument(
+        "--feature-tiers",
+        action="store_true",
+        help="serve features through the multi-tier store "
+        "(HBM -> pinned host -> remote) instead of the flat cache "
+        "(pipeline mode)",
+    )
+    profile.add_argument(
+        "--host-tier-ratio",
+        type=float,
+        default=None,
+        help="fraction of nodes resident in the pinned-host tier "
+        "(tiered mode; default 1.0 = no remote tail)",
+    )
+    profile.add_argument(
+        "--hbm-budget-mb",
+        type=float,
+        default=None,
+        help="cap the training device's memory pool at this many MiB "
+        "(the knob that squeezes the device tier below the working set)",
+    )
+    profile.add_argument(
+        "--no-prefetch",
+        action="store_true",
+        help="model a synchronous loader: a batch's feature fetch "
+        "may not start until the previous compute finished",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -253,6 +280,34 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="fraction of nodes with device-pinned feature rows "
         "(default 0.10, 0 disables the cache)",
+    )
+    serve.add_argument(
+        "--feature-tiers",
+        action="store_true",
+        help="serve features through the multi-tier store: device HBM, "
+        "optional peer HBM over the interconnect, pinned host DRAM, "
+        "and a remote/disk tail on its own queue",
+    )
+    serve.add_argument(
+        "--host-tier-ratio",
+        type=float,
+        default=None,
+        help="fraction of nodes resident in the pinned-host tier "
+        "(tiered mode; default 1.0 = no remote tail)",
+    )
+    serve.add_argument(
+        "--p2p",
+        action="store_true",
+        help="pool the fleet's HBM: stripe the hot band across replicas "
+        "and fetch sibling-owned rows over the interconnect when it "
+        "beats host DRAM (tiered mode, NVLink clusters)",
+    )
+    serve.add_argument(
+        "--hbm-budget-mb",
+        type=float,
+        default=None,
+        help="cap each replica's device memory pool at this many MiB "
+        "(the knob that squeezes the device tier below the working set)",
     )
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument(
@@ -485,7 +540,7 @@ def _cmd_profile_pipeline(args: argparse.Namespace) -> int:
     """The ``profile --pipeline`` branch: serial vs pipelined epochs."""
     import pathlib
 
-    from repro.cache import DEFAULT_CACHE_RATIO
+    from repro.cache import DEFAULT_CACHE_RATIO, DEFAULT_HOST_TIER_RATIO
     from repro.datasets import load_dataset
     from repro.device import get_device
     from repro.pipeline import DEFAULT_PREFETCH_DEPTH, run_pipeline_cell
@@ -505,6 +560,16 @@ def _cmd_profile_pipeline(args: argparse.Namespace) -> int:
         if args.prefetch_depth is not None
         else DEFAULT_PREFETCH_DEPTH
     )
+    host_tier_ratio = (
+        args.host_tier_ratio
+        if args.host_tier_ratio is not None
+        else DEFAULT_HOST_TIER_RATIO
+    )
+    hbm_budget = (
+        int(args.hbm_budget_mb * 2**20)
+        if args.hbm_budget_mb is not None
+        else None
+    )
     dataset = load_dataset(args.dataset, scale=args.scale)
     device = get_device(args.device)
     profiler = Profiler()
@@ -519,6 +584,10 @@ def _cmd_profile_pipeline(args: argparse.Namespace) -> int:
             prefetch_depth=prefetch_depth,
             cache_ratio=cache_ratio,
             profiler=profiler,
+            feature_tiers=args.feature_tiers,
+            host_tier_ratio=host_tier_ratio,
+            hbm_budget=hbm_budget,
+            prefetch=not args.no_prefetch,
         )
 
     reduction = (
@@ -544,6 +613,18 @@ def _cmd_profile_pipeline(args: argparse.Namespace) -> int:
              f"({cache.cached_bytes // 1024} KiB)"],
             ["cache hit rate", f"{cache.hit_rate:.1%}"],
         ]
+        if args.feature_tiers:
+            rows.append(
+                ["tier hit rates (dev/host/remote)",
+                 " / ".join(
+                     f"{cache.tier_rate(t):.1%}"
+                     for t in ("device", "host", "remote")
+                 )]
+            )
+            rows.append(
+                ["prefetch", "async" if not args.no_prefetch else
+                 "synchronous loader"]
+            )
     print(
         format_table(
             ["Metric", "Value"],
@@ -574,7 +655,11 @@ def _cmd_profile_pipeline(args: argparse.Namespace) -> int:
 
     out_dir = pathlib.Path(args.out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
-    tag = f"pipeline_{args.algorithm}_{args.dataset}_{args.device}"
+    # Tiered runs get their own lane: their charging structure (UVA
+    # host band + remote queue) is not comparable run-over-run with the
+    # committed flat-cache pipeline trajectory.
+    lane = "pipeline_tiered" if args.feature_tiers else "pipeline"
+    tag = f"{lane}_{args.algorithm}_{args.dataset}_{args.device}"
     trace_path = (
         pathlib.Path(args.trace_out)
         if args.trace_out
@@ -602,6 +687,12 @@ def _cmd_profile_pipeline(args: argparse.Namespace) -> int:
         "prefetch_depth": prefetch_depth,
         "cache_ratio": cache_ratio,
     }
+    if args.feature_tiers:
+        meta["feature_tiers"] = True
+        meta["host_tier_ratio"] = host_tier_ratio
+        meta["prefetch"] = not args.no_prefetch
+        if args.hbm_budget_mb is not None:
+            meta["hbm_budget_mb"] = args.hbm_budget_mb
     record_path = bench_path(out_dir, tag)
     record, previous = append_record(
         record_path, tag=tag, meta=meta, metrics=metrics
@@ -629,7 +720,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     """The ``serve`` command: one online serving session + trajectory."""
     import pathlib
 
-    from repro.cache import DEFAULT_CACHE_RATIO
+    from repro.cache import DEFAULT_CACHE_RATIO, DEFAULT_HOST_TIER_RATIO
     from repro.datasets import load_dataset
     from repro.device import get_device
     from repro.errors import GSamplerError
@@ -652,6 +743,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     cache_ratio = (
         args.cache_ratio if args.cache_ratio is not None else DEFAULT_CACHE_RATIO
+    )
+    host_tier_ratio = (
+        args.host_tier_ratio
+        if args.host_tier_ratio is not None
+        else DEFAULT_HOST_TIER_RATIO
+    )
+    hbm_budget = (
+        int(args.hbm_budget_mb * 2**20)
+        if args.hbm_budget_mb is not None
+        else None
     )
     dataset = load_dataset(args.dataset, scale=args.scale)
     device = get_device(args.device)
@@ -735,6 +836,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 profiler=profiler,
                 failures=failures,
                 autoscale=autoscale,
+                feature_tiers=args.feature_tiers,
+                host_tier_ratio=host_tier_ratio,
+                p2p=args.p2p,
+                hbm_budget=hbm_budget,
             )
     except GSamplerError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -760,6 +865,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ["cache hit rate",
              f"{cache.hit_rate:.1%} ({cache.cached_rows} rows pinned)"]
         )
+    if report.feature_tiers and cache is not None:
+        rows.append(
+            ["tier hit rates (dev/p2p/host/remote)",
+             " / ".join(
+                 f"{cache.tier_rate(t):.1%}"
+                 for t in ("device", "p2p", "host", "remote")
+             )]
+        )
+        rows.append(
+            ["tier residency",
+             f"{cache.cached_rows} rows on device, "
+             f"{cache.host_rows} pinned host"]
+        )
+        if report.p2p_rows:
+            rows.append(
+                ["p2p traffic",
+                 f"{report.p2p_rows} rows / "
+                 f"{report.p2p_bytes / 2**20:.2f} MiB / "
+                 f"{report.p2p_seconds * 1e3:.4f} ms on the link"]
+            )
     if report.composer != "fifo":
         rows.append(["composer", report.composer])
         rows.append(["padded seed slots", report.padding_seeds])
@@ -892,6 +1017,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     kind = "cluster" if args.replicas > 1 else "serve"
     if args.composer != "fifo":
         kind = f"{kind}_{args.composer}"
+    if report.feature_tiers:
+        # Tiered-store sessions carry per-tier keys and a different
+        # charging structure, so they live in their own lane.
+        kind = "tiered"
     if report.elastic:
         # Chaos/elastic sessions carry availability/scaling keys and a
         # perturbed timeline, so they live in their own lane.
@@ -939,6 +1068,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         meta["link"] = simulator.link.name if simulator.link else "none"
         if args.max_seeds_per_request is not None:
             meta["max_seeds_per_request"] = args.max_seeds_per_request
+    if args.feature_tiers:
+        meta["feature_tiers"] = True
+        meta["host_tier_ratio"] = host_tier_ratio
+        meta["p2p"] = args.p2p
+        if args.hbm_budget_mb is not None:
+            meta["hbm_budget_mb"] = args.hbm_budget_mb
     if failures is not None:
         meta["kills"] = list(args.kill)
         meta["orphans"] = args.orphans

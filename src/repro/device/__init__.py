@@ -21,6 +21,7 @@ from repro.device.interconnect import (
     LinkSpec,
     default_link_for,
     get_link,
+    p2p_cheaper_than_host,
 )
 from repro.device.memory import Allocation, MemoryPool
 from repro.device.spec import CPU, GB, T4, V100, DeviceSpec, get_device
@@ -44,4 +45,5 @@ __all__ = [
     "default_link_for",
     "get_device",
     "get_link",
+    "p2p_cheaper_than_host",
 ]

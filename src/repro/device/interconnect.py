@@ -124,6 +124,25 @@ def get_link(name: str) -> LinkSpec:
         ) from None
 
 
+def p2p_cheaper_than_host(link: LinkSpec, device) -> bool:
+    """Is a peer-HBM fetch over ``link`` cheaper than host DRAM?
+
+    The tiered feature store's p2p decision rule.  The host path is not
+    raw PCIe: UVA reads of hot rows hit the device-side access cache, so
+    the *effective* per-byte cost of a host-tier row is
+    ``(1 - uva_cache_hit_rate) / pcie_bandwidth`` (on a V100, 12 GB/s
+    raw becomes ~26.7 GB/s effective).  Peer HBM over the link wins only
+    when the link's per-byte cost beats that — true for NVLink
+    (150 GB/s), false for a PCIe-switched peer (12 GB/s), which is why
+    ``--p2p`` is a no-op on PCIe-wired clusters rather than a slowdown.
+    """
+    discount = 1.0 - device.uva_cache_hit_rate
+    if discount <= 0.0:
+        return False  # host reads are effectively free; peer can't win
+    host_per_byte = discount / device.pcie_bandwidth
+    return 1.0 / link.bandwidth < host_per_byte
+
+
 def default_link_for(device_name: str) -> LinkSpec:
     """The link a cluster of ``device_name`` devices is wired with."""
     try:

@@ -28,10 +28,16 @@ import dataclasses
 import numpy as np
 
 from repro.algorithms.base import Pipeline
-from repro.cache import DEFAULT_CACHE_RATIO, CacheStats, FeatureCache
+from repro.cache import (
+    DEFAULT_CACHE_RATIO,
+    DEFAULT_HOST_TIER_RATIO,
+    CacheStats,
+    FeatureCache,
+    TieredFeatureStore,
+)
 from repro.core import minibatches
 from repro.datasets import Dataset
-from repro.device import DeviceSpec, ExecutionContext
+from repro.device import DeviceSpec, ExecutionContext, MemoryPool
 from repro.errors import ShapeError
 from repro.learning.models import SampledGNN
 from repro.learning.trainer import Trainer, TrainResult
@@ -102,6 +108,25 @@ class PipelinedTrainer(Trainer):
         ``0.0`` disables caching.  The pinned bytes are charged to the
         training context's memory pool, so an over-large ratio is
         evicted down (or refused) against that pool's capacity.
+    feature_tiers:
+        Serve feature rows through the multi-tier store
+        (:class:`~repro.cache.TieredFeatureStore`) instead of the flat
+        cache: the device tier's gathers stay on-device, the pinned-host
+        band crosses PCIe as UVA traffic, and the remote tail runs as a
+        ``fixed_seconds`` launch on its own ``remote`` queue, overlapped
+        with the PCIe read.
+    host_tier_ratio:
+        Fraction of nodes in the pinned-host tier (tiered mode only).
+    hbm_budget:
+        Byte capacity of the training context's memory pool — the knob
+        that caps the device tier below the working set.  ``None`` keeps
+        the unbounded default.
+    prefetch:
+        When True (the default), batch ``i+1``'s feature fetch overlaps
+        batch ``i``'s compute — the async-prefetch loader.  False models
+        a synchronous loader: a batch's fetch may not start until the
+        previous batch's compute finished, which serializes the miss
+        traffic the tiered store's overlap would otherwise hide.
     """
 
     def __init__(
@@ -117,6 +142,10 @@ class PipelinedTrainer(Trainer):
         seed: int = 0,
         prefetch_depth: int = DEFAULT_PREFETCH_DEPTH,
         cache_ratio: float = DEFAULT_CACHE_RATIO,
+        feature_tiers: bool = False,
+        host_tier_ratio: float = DEFAULT_HOST_TIER_RATIO,
+        hbm_budget: int | None = None,
+        prefetch: bool = True,
     ) -> None:
         if prefetch_depth < 1:
             raise ShapeError(
@@ -134,6 +163,60 @@ class PipelinedTrainer(Trainer):
         )
         self.prefetch_depth = prefetch_depth
         self.cache_ratio = cache_ratio
+        self.feature_tiers = feature_tiers
+        self.host_tier_ratio = host_tier_ratio
+        self.hbm_budget = hbm_budget
+        self.prefetch = prefetch
+
+    # ------------------------------------------------------------------
+    def _fetch_batch(
+        self,
+        sample,
+        train_ctx: ExecutionContext,
+        cache,
+        fetch_after: float,
+    ) -> float:
+        """Charge one batch's feature fetch; returns its completion time.
+
+        Flat path: the classic single ``feature_gather`` on ``transfer``
+        (misses as UVA ``graph_bytes``) — byte-identical to the
+        pre-tier executor.  Tiered path: only the host band is UVA
+        traffic, and the remote tail runs on its own ``remote`` queue so
+        the batch's fetch completes at the *max* of the two wires.
+        """
+        if not isinstance(cache, TieredFeatureStore):
+            with train_ctx.on_queue("transfer", not_before=fetch_after):
+                self._gather_features(sample, train_ctx, cache)
+            return train_ctx.queue("transfer").ready
+        nodes = sample.all_nodes
+        row_bytes = self.dataset.features.shape[1] * 4
+        split = cache.record_gather(nodes)
+        # Remote rows are DMA'd straight into the staging buffer by the
+        # remote wire (charged below on its own queue), so only the
+        # device + host bands go through the local gather; with no
+        # remote tail (host_ratio=1.0) this record is byte-identical to
+        # the flat path's.
+        gathered = split.device_rows + split.host_rows
+        with train_ctx.on_queue("transfer", not_before=fetch_after):
+            train_ctx.record(
+                "feature_gather",
+                bytes_read=gathered * row_bytes,
+                bytes_written=gathered * row_bytes,
+                tasks=max(gathered, 1),
+                graph_bytes=split.host_rows * row_bytes,
+            )
+        transferred_at = train_ctx.queue("transfer").ready
+        if split.remote_rows > 0:
+            with train_ctx.on_queue("remote", not_before=fetch_after):
+                remote = train_ctx.record(
+                    f"remote_tier_fetch[{cache.remote_tier.name}]",
+                    tasks=split.remote_rows,
+                    fixed_seconds=cache.remote_tier.fetch_time(
+                        split.remote_rows * row_bytes
+                    ),
+                )
+            transferred_at = max(transferred_at, remote.sim_end)
+        return transferred_at
 
     # ------------------------------------------------------------------
     def train(
@@ -146,14 +229,33 @@ class PipelinedTrainer(Trainer):
         sample_ctx = ExecutionContext(
             self.device, graph_on_device=self.dataset.graph_on_device
         )
+        # Tiered mode prices the host-tier band as UVA traffic, so the
+        # training context's "graph" (= the feature table) must be
+        # host-resident regardless of where the topology lives; compute
+        # launches declare no graph_bytes, so their pricing is unchanged.
         train_ctx = ExecutionContext(
-            self.train_device, graph_on_device=self.dataset.graph_on_device
+            self.train_device,
+            graph_on_device=(
+                False if self.feature_tiers else self.dataset.graph_on_device
+            ),
+            memory=(
+                MemoryPool(self.hbm_budget)
+                if self.hbm_budget is not None
+                else None
+            ),
         )
         if profiler is not None:
             profiler.attach(sample_ctx)
             train_ctx.profiler = profiler
-        cache: FeatureCache | None = None
-        if self.cache_ratio > 0.0:
+        cache: FeatureCache | TieredFeatureStore | None = None
+        if self.feature_tiers and self.cache_ratio > 0.0:
+            cache = TieredFeatureStore.from_dataset(
+                self.dataset,
+                pool=train_ctx.memory,
+                device_ratio=self.cache_ratio,
+                host_ratio=self.host_tier_ratio,
+            )
+        elif self.cache_ratio > 0.0:
             cache = FeatureCache.from_dataset(
                 self.dataset, ratio=self.cache_ratio, pool=train_ctx.memory
             )
@@ -190,11 +292,16 @@ class PipelinedTrainer(Trainer):
                                 batch, ctx=sample_ctx, rng=self.rng
                             )
                         sampled_at = sample_ctx.queue("sample").ready
-                        with train_ctx.on_queue(
-                            "transfer", not_before=sampled_at
-                        ):
-                            self._gather_features(sample, train_ctx, cache)
-                        transferred_at = train_ctx.queue("transfer").ready
+                        # A synchronous loader cannot start a batch's
+                        # fetch until the previous compute finished; the
+                        # async-prefetch default starts it the moment
+                        # sampling lands.
+                        fetch_after = sampled_at
+                        if not self.prefetch and compute_done:
+                            fetch_after = max(sampled_at, compute_done[-1])
+                        transferred_at = self._fetch_batch(
+                            sample, train_ctx, cache, fetch_after
+                        )
                         with train_ctx.on_queue(
                             "compute", not_before=transferred_at
                         ):
@@ -204,14 +311,19 @@ class PipelinedTrainer(Trainer):
                     epoch_acc.append(acc)
                 if cache is not None:
                     stats = cache.epoch_stats()
-                    with span(
-                        f"cache[{epoch}]",
-                        "cache",
+                    attrs: dict[str, object] = dict(
                         hits=stats.hits,
                         misses=stats.misses,
                         hit_rate=round(stats.hit_rate, 4),
                         cached_rows=stats.cached_rows,
-                    ):
+                    )
+                    if self.feature_tiers:
+                        attrs.update(
+                            host_hits=stats.host_hits,
+                            remote_hits=stats.remote_hits,
+                            host_rows=stats.host_rows,
+                        )
+                    with span(f"cache[{epoch}]", "cache", **attrs):
                         pass
             acc_history.append(float(np.mean(epoch_acc)) if epoch_acc else 0.0)
 
@@ -281,6 +393,10 @@ def run_pipeline_cell(
     cache_ratio: float = DEFAULT_CACHE_RATIO,
     seed: int = 0,
     profiler: Profiler | None = None,
+    feature_tiers: bool = False,
+    host_tier_ratio: float = DEFAULT_HOST_TIER_RATIO,
+    hbm_budget: int | None = None,
+    prefetch: bool = True,
 ) -> tuple[TrainResult, PipelinedTrainResult]:
     """Train one cell twice — serial then pipelined — under equal seeds.
 
@@ -322,6 +438,10 @@ def run_pipeline_cell(
         seed=seed,
         prefetch_depth=prefetch_depth,
         cache_ratio=cache_ratio,
+        feature_tiers=feature_tiers,
+        host_tier_ratio=host_tier_ratio,
+        hbm_budget=hbm_budget,
+        prefetch=prefetch,
     )
     pipelined = pipelined_trainer.train(
         epochs, max_batches_per_epoch=max_batches, profiler=profiler

@@ -44,7 +44,11 @@ import contextlib
 import dataclasses
 import math
 
-from repro.cache import DEFAULT_CACHE_RATIO, CacheStats
+from repro.cache import (
+    DEFAULT_CACHE_RATIO,
+    DEFAULT_HOST_TIER_RATIO,
+    CacheStats,
+)
 from repro.datasets import Dataset
 from repro.device import DeviceSpec, LinkSpec, default_link_for, get_link
 from repro.errors import ServeError
@@ -135,6 +139,10 @@ class ClusterSimulator:
         profiler: Profiler | None = None,
         failures: FailureSpec | None = None,
         autoscale: AutoscalePolicy | Autoscaler | None = None,
+        feature_tiers: bool = False,
+        host_tier_ratio: float = DEFAULT_HOST_TIER_RATIO,
+        p2p: bool = False,
+        hbm_budget: int | None = None,
     ) -> None:
         if num_replicas < 1:
             raise ServeError(
@@ -209,6 +217,7 @@ class ClusterSimulator:
         #: Session-level composer label: the shared policy name, or
         #: ``"mixed"`` for a heterogeneous cluster.
         self.composer_name = names.pop() if len(names) == 1 else "mixed"
+        self.feature_tiers = feature_tiers
         # One compile, shared by every replica: pipelines are stateless
         # with respect to the execution context.
         pipelines = build_pipelines(dataset, algorithm)
@@ -228,6 +237,11 @@ class ClusterSimulator:
                 shard=partition.view(i) if partition is not None else None,
                 link=link if partition is not None else None,
                 active=i < num_replicas,
+                feature_tiers=feature_tiers,
+                host_tier_ratio=host_tier_ratio,
+                p2p=p2p,
+                hbm_budget=hbm_budget,
+                fleet_size=fleet,
             )
             for i in range(fleet)
         ]
@@ -501,6 +515,11 @@ class ClusterSimulator:
         self._hedge_wins = 0
         self._reprovision_bytes = 0
         events = self._build_events(ordered)
+        # Session-scoped cache accounting: a simulator reused across
+        # sessions must not bleed one session's hit/miss tally into the
+        # next report.
+        for replica in self.replicas:
+            replica.begin_session()
         with self._span("serve_session", "serve", requests=len(ordered)):
             for time, kind, _seq, payload in events:
                 for replica in self.replicas:
@@ -515,6 +534,24 @@ class ClusterSimulator:
                     self._autoscale_tick(time)
             for replica in self.replicas:
                 replica.drain()
+            if self.feature_tiers:
+                # One summary span per replica so the Chrome trace shows
+                # where each replica's gathered rows actually lived.
+                for replica in self.replicas:
+                    if replica.cache is None:
+                        continue
+                    stats = replica.cache.epoch_stats()
+                    with self._span(
+                        f"tiered_cache[r{replica.replica_id}]",
+                        "cache",
+                        device_hits=stats.hits,
+                        p2p_hits=stats.p2p_hits,
+                        host_hits=stats.host_hits,
+                        remote_hits=stats.remote_hits,
+                        device_rows=stats.cached_rows,
+                        host_rows=stats.host_rows,
+                    ):
+                        pass
         self._resolve_hedges()
         logs = self._logs
         if control:
@@ -551,6 +588,11 @@ class ClusterSimulator:
         report.superbatch_batches = sum(
             r.superbatch_batches for r in self.replicas
         )
+        if self.feature_tiers:
+            report.feature_tiers = True
+            report.p2p_rows = sum(r.p2p_rows for r in self.replicas)
+            report.p2p_bytes = sum(r.p2p_bytes for r in self.replicas)
+            report.p2p_seconds = sum(r.p2p_seconds for r in self.replicas)
         if control:
             report.elastic = True
             report.failures = self._kills_executed
@@ -582,6 +624,10 @@ def run_cluster_session(
     profiler: Profiler | None = None,
     failures: FailureSpec | None = None,
     autoscale: AutoscalePolicy | Autoscaler | None = None,
+    feature_tiers: bool = False,
+    host_tier_ratio: float = DEFAULT_HOST_TIER_RATIO,
+    p2p: bool = False,
+    hbm_budget: int | None = None,
 ) -> tuple[ClusterSimulator, ServeReport]:
     """One-call cluster session: build, generate workload, serve, report.
 
@@ -605,6 +651,10 @@ def run_cluster_session(
         profiler=profiler,
         failures=failures,
         autoscale=autoscale,
+        feature_tiers=feature_tiers,
+        host_tier_ratio=host_tier_ratio,
+        p2p=p2p,
+        hbm_budget=hbm_budget,
     )
     workload = cluster.build_workload(
         spec if spec is not None else WorkloadSpec(seed=seed)

@@ -198,6 +198,17 @@ class ServeReport:
     #: Shard / warm-cache bytes streamed to revived or newly activated
     #: replicas over the interconnect.
     reprovision_bytes: int = 0
+    #: True when the session served features through the multi-tier
+    #: store (HBM -> peer HBM -> pinned host -> remote).  All fields
+    #: below stay at their defaults for the flat cache, so classic
+    #: reports — and :meth:`to_metrics` — are unchanged from the
+    #: single-tier subsystem.
+    feature_tiers: bool = False
+    #: Rows fetched from sibling replicas' HBM over the interconnect.
+    p2p_rows: int = 0
+    p2p_bytes: int = 0
+    #: Simulated seconds spent on the interconnect for those rows.
+    p2p_seconds: float = 0.0
 
     @property
     def shed_rate(self) -> float:
@@ -270,6 +281,17 @@ class ServeReport:
                 if self.superbatch_batches
                 else 0.0
             )
+        if self.feature_tiers:
+            # Tiered-store sessions append to their own BENCH_tiered_*
+            # trajectory, so these keys never perturb the classic lanes.
+            cache = self.cache
+            for tier in ("device", "p2p", "host", "remote"):
+                metrics[f"tier_{tier}_rate"] = (
+                    cache.tier_rate(tier) if cache else 0.0
+                )
+            metrics["p2p_rows"] = float(self.p2p_rows)
+            metrics["p2p_bytes"] = float(self.p2p_bytes)
+            metrics["p2p_ms"] = self.p2p_seconds * 1e3
         if self.elastic:
             # Elastic/chaos sessions append to their own BENCH_elastic_*
             # trajectory, so these keys never perturb the classic lanes.

@@ -32,9 +32,20 @@ import math
 
 import numpy as np
 
-from repro.cache import DEFAULT_CACHE_RATIO, FeatureCache
+from repro.cache import (
+    DEFAULT_CACHE_RATIO,
+    DEFAULT_HOST_TIER_RATIO,
+    FeatureCache,
+    TieredFeatureStore,
+)
 from repro.datasets import Dataset
-from repro.device import DeviceSpec, ExecutionContext, LinkSpec
+from repro.device import (
+    DeviceSpec,
+    ExecutionContext,
+    LinkSpec,
+    MemoryPool,
+    default_link_for,
+)
 from repro.errors import ServeError
 from repro.partition import ShardView
 from repro.profile.spans import Profiler
@@ -254,11 +265,20 @@ class Replica:
         shard: ShardView | None = None,
         link: LinkSpec | None = None,
         active: bool = True,
+        feature_tiers: bool = False,
+        host_tier_ratio: float = DEFAULT_HOST_TIER_RATIO,
+        p2p: bool = False,
+        hbm_budget: int | None = None,
+        fleet_size: int = 1,
     ) -> None:
         if shard is not None and link is None:
             raise ServeError(
                 "a sharded replica needs an interconnect link to fetch "
                 "remote frontier rows over"
+            )
+        if p2p and not feature_tiers:
+            raise ServeError(
+                "p2p feature fetch needs the tiered store (feature_tiers)"
             )
         self.dataset = dataset
         self.algorithm = algorithm
@@ -284,10 +304,13 @@ class Replica:
             )
         self._sample_queue = f"{queue_prefix}sample"
         self._transfer_queue = f"{queue_prefix}transfer"
+        self._remote_queue = f"{queue_prefix}remote"
+        self._p2p_queue = f"{queue_prefix}p2p"
         #: True when part of a multi-replica cluster; batch spans then
         #: carry the replica id (standalone spans stay byte-identical to
         #: the pre-refactor trace).
         self._labelled = bool(queue_prefix)
+        self.feature_tiers = feature_tiers
         self.sample_ctx = ExecutionContext(
             device,
             graph_on_device=dataset.graph_on_device,
@@ -295,8 +318,21 @@ class Replica:
         )
         # Feature fetches run on their own context with a host-resident
         # "graph" (= the feature table), so misses are priced over PCIe.
+        # The tiered store adds two more wires: the remote tier and the
+        # p2p band each get their own queue, so a batch's tier fetches
+        # overlap (completion is their max, not their sum).  The flat
+        # path declares only ``transfer`` — its contexts, queue stats,
+        # and trace rows stay byte-identical to the pre-tier subsystem.
+        io_queues = (
+            (self._transfer_queue, self._remote_queue, self._p2p_queue)
+            if feature_tiers
+            else (self._transfer_queue,)
+        )
         self.io_ctx = ExecutionContext(
-            device, graph_on_device=False, queues=(self._transfer_queue,)
+            device,
+            graph_on_device=False,
+            queues=io_queues,
+            memory=MemoryPool(hbm_budget) if hbm_budget is not None else None,
         )
         if profiler is not None:
             # The first replica's sampling ledger doubles as the
@@ -307,11 +343,35 @@ class Replica:
             else:
                 self.sample_ctx.profiler = profiler
             self.io_ctx.profiler = profiler
-        self.cache: FeatureCache | None = None
+        self.cache: FeatureCache | TieredFeatureStore | None = None
         if cache_ratio > 0.0:
-            self.cache = FeatureCache.from_dataset(
-                dataset, ratio=cache_ratio, pool=self.io_ctx.memory
-            )
+            if feature_tiers:
+                # p2p needs a wire even in unpartitioned clusters; fall
+                # back to the device's native link when none was given.
+                p2p_link = link
+                if p2p and p2p_link is None:
+                    p2p_link = default_link_for(device.name)
+                self.cache = TieredFeatureStore.from_dataset(
+                    dataset,
+                    pool=self.io_ctx.memory,
+                    device_ratio=cache_ratio,
+                    host_ratio=host_tier_ratio,
+                    link=p2p_link,
+                    device=device,
+                    replica_id=replica_id,
+                    num_replicas=fleet_size,
+                    p2p=p2p,
+                )
+            else:
+                # Sharded replicas score by owned rows (shard-affinity
+                # routing sends them owned-shard traffic); shardless
+                # replicas keep the global-degree ranking.
+                self.cache = FeatureCache.from_dataset(
+                    dataset,
+                    ratio=cache_ratio,
+                    pool=self.io_ctx.memory,
+                    owned_mask=shard.mask if shard is not None else None,
+                )
         feats = dataset.features
         self._row_bytes = int(feats.shape[1]) * feats.dtype.itemsize
         # Degradation-ladder state.
@@ -348,6 +408,12 @@ class Replica:
         self.cross_shard_rows = 0
         self.cross_shard_bytes = 0
         self.link_seconds = 0.0
+        # Peer-to-peer tier accounting (stays zero without the tiered
+        # store's p2p band) — charged on the interconnect exactly like
+        # cross-shard frontier fetches.
+        self.p2p_rows = 0
+        self.p2p_bytes = 0
+        self.p2p_seconds = 0.0
         # Composition accounting.  ``padding_seeds`` models a padded
         # deployment: each joint batch is charged (max member seed count
         # - member seed count) summed over members — what size-binning
@@ -413,6 +479,19 @@ class Replica:
                 for sampler in samplers
             )
         return min(sizes)
+
+    # ------------------------------------------------------------------
+    def begin_session(self) -> None:
+        """Per-session reset: clear the cache's hit/miss tally.
+
+        A replica reused across serving sessions (two ``advance_until``
+        streams on one simulator) would otherwise merge both sessions'
+        tallies into one :class:`~repro.cache.CacheStats`; the cluster
+        loop calls this at every session start so each report covers
+        exactly its own session.
+        """
+        if self.cache is not None:
+            self.cache.reset_epoch()
 
     # ------------------------------------------------------------------
     def _span(self, name: str, category: str, **attrs: object):
@@ -703,9 +782,19 @@ class Replica:
 
         Shared tail of the joint and super-batched paths: cache lookup,
         cross-shard interconnect hop for remotely-owned frontier nodes,
-        then the host feature read on the ``transfer`` queue.
+        then the host feature read on the ``transfer`` queue.  With the
+        tiered store, the host-tier read keeps the flat path's exact
+        charge shape while the remote tier and the p2p band land on
+        their own queues — the fetch completes at the *max* of the three
+        wires, which is the tiered store's overlap win.
         """
-        if self.cache is not None:
+        tiered = isinstance(self.cache, TieredFeatureStore)
+        split = None
+        if tiered:
+            split = self.cache.record_gather(nodes)
+            hits = split.device_rows
+            misses = split.total - split.device_rows
+        elif self.cache is not None:
             hits, misses = self.cache.record_gather(nodes)
         else:
             hits, misses = 0, int(nodes.size)
@@ -736,6 +825,16 @@ class Replica:
         # of crossing PCIe — zero host traffic, smaller reads.
         rows = hits if cached_only else int(nodes.size)
         host_rows = 0 if cached_only else misses
+        if tiered and not cached_only:
+            # Only the pinned-host band crosses PCIe as UVA traffic
+            # (same per-byte price as a flat miss).  p2p and remote rows
+            # are DMA'd straight into the staging buffer by their own
+            # wires (charged below, on their own queues), so they leave
+            # the transfer queue's local read/write entirely; with both
+            # tiers empty (the full-budget default) this record is
+            # byte-identical to the flat path's.
+            host_rows = split.host_rows
+            rows = split.device_rows + split.host_rows
         with self.io_ctx.on_queue(
             self._transfer_queue, not_before=sampled_at
         ):
@@ -746,7 +845,42 @@ class Replica:
                 tasks=max(rows, 1),
                 graph_bytes=host_rows * self._row_bytes,
             )
-        return self.io_ctx.queue(self._transfer_queue).ready
+        completion = self.io_ctx.queue(self._transfer_queue).ready
+        if tiered and not cached_only:
+            if split.remote_rows > 0:
+                remote_bytes = split.remote_rows * self._row_bytes
+                with self.io_ctx.on_queue(
+                    self._remote_queue, not_before=sampled_at
+                ):
+                    self.io_ctx.record(
+                        f"remote_tier_fetch[{self.cache.remote_tier.name}]",
+                        tasks=split.remote_rows,
+                        fixed_seconds=self.cache.remote_tier.fetch_time(
+                            remote_bytes
+                        ),
+                    )
+                completion = max(
+                    completion, self.io_ctx.queue(self._remote_queue).ready
+                )
+            if split.p2p_rows > 0:
+                link = self.cache.link
+                p2p_bytes = split.p2p_rows * self._row_bytes
+                hop = link.transfer_time(p2p_bytes)
+                with self.io_ctx.on_queue(
+                    self._p2p_queue, not_before=sampled_at
+                ):
+                    self.io_ctx.record(
+                        f"p2p_fetch[{link.name}]",
+                        tasks=split.p2p_rows,
+                        fixed_seconds=hop,
+                    )
+                self.p2p_rows += split.p2p_rows
+                self.p2p_bytes += p2p_bytes
+                self.p2p_seconds += hop
+                completion = max(
+                    completion, self.io_ctx.queue(self._p2p_queue).ready
+                )
+        return completion
 
     def _complete(
         self,

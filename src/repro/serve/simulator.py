@@ -41,7 +41,7 @@ and the simulator seed.
 
 from __future__ import annotations
 
-from repro.cache import DEFAULT_CACHE_RATIO
+from repro.cache import DEFAULT_CACHE_RATIO, DEFAULT_HOST_TIER_RATIO
 from repro.datasets import Dataset
 from repro.device import DeviceSpec
 from repro.profile.spans import Profiler
@@ -117,6 +117,9 @@ def run_serve_session(
     cache_ratio: float = DEFAULT_CACHE_RATIO,
     seed: int = 0,
     profiler: Profiler | None = None,
+    feature_tiers: bool = False,
+    host_tier_ratio: float = DEFAULT_HOST_TIER_RATIO,
+    hbm_budget: int | None = None,
 ):
     """One-call serving session: build, generate workload, serve, report.
 
@@ -141,4 +144,7 @@ def run_serve_session(
         cache_ratio=cache_ratio,
         seed=seed,
         profiler=profiler,
+        feature_tiers=feature_tiers,
+        host_tier_ratio=host_tier_ratio,
+        hbm_budget=hbm_budget,
     )
