@@ -17,6 +17,7 @@ from repro.cache.feature_cache import (
     FeatureCache,
     admit_rows,
 )
+from repro.cache.ranking import degree_order, graph_degrees
 from repro.cache.tiered import (
     DEFAULT_HOST_TIER_RATIO,
     REMOTE_TIER,
@@ -35,4 +36,6 @@ __all__ = [
     "TierSpec",
     "TieredFeatureStore",
     "admit_rows",
+    "degree_order",
+    "graph_degrees",
 ]

@@ -26,6 +26,7 @@ import dataclasses
 
 import numpy as np
 
+from repro.cache.ranking import degree_order, graph_degrees
 from repro.device.memory import Allocation, MemoryPool
 from repro.errors import MemoryBudgetError, ShapeError
 
@@ -97,6 +98,11 @@ class CacheStats:
     remote_hits: int = 0
     #: Size of the pinned-host tier, in rows (0 for flat caches).
     host_rows: int = 0
+    #: Rows evicted through :meth:`FeatureCache.invalidate` because a
+    #: graph delta changed their degree band.  Cumulative over the
+    #: cache's lifetime (residency-level, like ``cached_rows``), so it
+    #: survives :meth:`FeatureCache.reset_epoch`.
+    invalidated_rows: int = 0
 
     @property
     def lookups(self) -> int:
@@ -158,6 +164,7 @@ class CacheStats:
             host_hits=sum(s.host_hits for s in present),
             remote_hits=sum(s.remote_hits for s in present),
             host_rows=sum(s.host_rows for s in present),
+            invalidated_rows=sum(s.invalidated_rows for s in present),
         )
 
 
@@ -185,6 +192,7 @@ class FeatureCache:
         *,
         ratio: float = DEFAULT_CACHE_RATIO,
         pool: MemoryPool,
+        owned_mask: np.ndarray | None = None,
         tag: str = "feature_cache",
     ) -> None:
         if not 0.0 <= ratio <= 1.0:
@@ -198,14 +206,22 @@ class FeatureCache:
         self.pool = pool
         self.row_bytes = int(features.shape[1]) * features.dtype.itemsize
         self.requested_rows = int(round(ratio * features.shape[0]))
-        order = np.argsort(-scores.astype(np.float64), kind="stable")
+        self._owned_mask = (
+            None if owned_mask is None else np.asarray(owned_mask, dtype=bool)
+        )
+        order = degree_order(scores, owned_mask=self._owned_mask)
         rows, allocation = self._admit(order, self.requested_rows, tag)
         self.allocation: Allocation | None = allocation
+        #: Rows the admission actually pinned — the refill ceiling for
+        #: :meth:`rerank` (the allocation's byte size over-counts by up
+        #: to one pool granule of rounding).
+        self._admitted_rows = rows
         self.cached_ids = np.sort(order[:rows])
         self._is_cached = np.zeros(features.shape[0], dtype=bool)
         self._is_cached[self.cached_ids] = True
         self._hits = 0
         self._misses = 0
+        self._invalidated = 0
 
     # ------------------------------------------------------------------
     def _admit(
@@ -242,19 +258,14 @@ class FeatureCache:
         Without a mask (shardless replicas, the training pipeline) the
         global ranking is the explicit fallback.
         """
-        csc = dataset.graph.get("csc")
-        degrees = np.diff(csc.indptr)
-        if owned_mask is not None:
-            owned_mask = np.asarray(owned_mask, dtype=bool)
-            if owned_mask.shape != degrees.shape:
-                raise ShapeError(
-                    f"owned mask shape {owned_mask.shape} != nodes "
-                    f"({degrees.shape[0]},)"
-                )
-            scores = degrees.astype(np.float64)
-            scores[~owned_mask] = -1.0
-            return cls(dataset.features, scores, ratio=ratio, pool=pool)
-        return cls(dataset.features, degrees, ratio=ratio, pool=pool)
+        degrees = graph_degrees(dataset.graph)
+        return cls(
+            dataset.features,
+            degrees,
+            ratio=ratio,
+            pool=pool,
+            owned_mask=owned_mask,
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -287,6 +298,54 @@ class FeatureCache:
         self._misses += misses
         return hits, misses
 
+    def invalidate(self, rows: np.ndarray) -> int:
+        """Evict the cached subset of ``rows``; returns the count.
+
+        The delta path: when streamed edges change a node's degree, its
+        seed-time band is wrong, so the row is dropped from residency
+        (subsequent gathers miss) until :meth:`rerank` refills the
+        slots.  The device allocation is *not* shrunk — the slots are
+        tombstoned, exactly like a real pinned-buffer cache — so
+        invalidation never perturbs the :class:`~repro.device.MemoryPool`
+        ledger mid-session.  Evictions accumulate in
+        :attr:`CacheStats.invalidated_rows`.
+        """
+        rows = np.asarray(rows)
+        if rows.size == 0:
+            return 0
+        rows = rows.astype(np.int64, copy=False)
+        victims = np.unique(rows[self._is_cached[rows]])
+        if victims.size == 0:
+            return 0
+        self._is_cached[victims] = False
+        self.cached_ids = self.cached_ids[self._is_cached[self.cached_ids]]
+        self._invalidated += int(victims.size)
+        return int(victims.size)
+
+    def rerank(self, scores: np.ndarray) -> int:
+        """Re-rank residency against fresh ``scores`` (live degrees).
+
+        Refills the pinned slots — including any tombstoned by
+        :meth:`invalidate` — with the hottest rows under the new
+        ranking, up to the capacity of the existing allocation (no pool
+        traffic; the budget decision from admission time stands).  The
+        construction-time ``owned_mask`` keeps applying, so sharded
+        replicas keep preferring owned rows.  Returns the number of
+        resident rows after the refill.
+        """
+        scores = np.asarray(scores)
+        if scores.shape != self._is_cached.shape:
+            raise ShapeError(
+                f"scores shape {scores.shape} != nodes "
+                f"{self._is_cached.shape}"
+            )
+        capacity = self._admitted_rows if self.allocation is not None else 0
+        order = degree_order(scores, owned_mask=self._owned_mask)
+        self.cached_ids = np.sort(order[:capacity])
+        self._is_cached[:] = False
+        self._is_cached[self.cached_ids] = True
+        return int(self.cached_ids.size)
+
     def epoch_stats(self) -> CacheStats:
         return CacheStats(
             cached_rows=self.cached_rows,
@@ -294,6 +353,7 @@ class FeatureCache:
             cached_bytes=self.cached_bytes,
             hits=self._hits,
             misses=self._misses,
+            invalidated_rows=self._invalidated,
         )
 
     def reset_epoch(self) -> None:

@@ -43,6 +43,7 @@ from repro.cache.feature_cache import (
     CacheStats,
     admit_rows,
 )
+from repro.cache.ranking import degree_order, graph_degrees
 from repro.device.interconnect import LinkSpec, p2p_cheaper_than_host
 from repro.device.memory import Allocation, MemoryPool
 from repro.errors import ShapeError
@@ -190,7 +191,7 @@ class TieredFeatureStore:
             and device is not None
             and p2p_cheaper_than_host(link, device)
         )
-        order = np.argsort(-scores.astype(np.float64), kind="stable")
+        order = degree_order(scores)
 
         # --- device (+ p2p) band -------------------------------------
         stride = num_replicas if self.p2p_enabled else 1
@@ -221,6 +222,7 @@ class TieredFeatureStore:
         self._p2p_hits = 0
         self._host_hits = 0
         self._remote_hits = 0
+        self._invalidated = 0
 
     # ------------------------------------------------------------------
     @classmethod
@@ -244,8 +246,7 @@ class TieredFeatureStore:
         fleet-wide construct (every replica must agree on the stripe),
         so per-shard ranking would break the symmetric-stripe contract.
         """
-        csc = dataset.graph.get("csc")
-        degrees = np.diff(csc.indptr)
+        degrees = graph_degrees(dataset.graph)
         return cls(
             dataset.features,
             degrees,
@@ -300,6 +301,40 @@ class TieredFeatureStore:
         self._remote_hits += split.remote_rows
         return split
 
+    def invalidate(self, rows: np.ndarray) -> int:
+        """Demote the device/p2p-resident subset of ``rows`` to host.
+
+        The delta path, mirrored from :meth:`FeatureCache.invalidate`:
+        mutated rows fall out of the HBM band (their bytes are still in
+        host DRAM, so they land in the pinned-host tier, same fallback
+        as :meth:`release`).  The p2p stripe is fleet-symmetric, so a
+        sibling's entry for the same row is demoted here too — every
+        replica applies the same deltas and reaches the same verdict.
+        Returns the count of *locally* pinned rows demoted, which is
+        what accumulates in :attr:`CacheStats.invalidated_rows`; the
+        device allocation itself is left pinned (tombstoned slots, no
+        pool traffic).
+        """
+        rows = np.asarray(rows)
+        if rows.size == 0:
+            return 0
+        rows = rows.astype(np.int64, copy=False)
+        tiers = self._tier[rows]
+        local = np.unique(rows[tiers == TIER_DEVICE])
+        peer = np.unique(rows[tiers == TIER_P2P])
+        if local.size == 0 and peer.size == 0:
+            return 0
+        self._tier[local] = TIER_HOST
+        self._tier[peer] = TIER_HOST
+        if local.size:
+            keep = self._tier[self.cached_ids] == TIER_DEVICE
+            self.cached_ids = self.cached_ids[keep]
+        self.host_ids = np.sort(
+            np.concatenate([self.host_ids, local, peer])
+        )
+        self._invalidated += int(local.size)
+        return int(local.size)
+
     def epoch_stats(self) -> CacheStats:
         """Snapshot with the flat-compatible hit/miss semantics.
 
@@ -317,6 +352,7 @@ class TieredFeatureStore:
             host_hits=self._host_hits,
             remote_hits=self._remote_hits,
             host_rows=self.host_rows,
+            invalidated_rows=self._invalidated,
         )
 
     def reset_epoch(self) -> None:

@@ -25,6 +25,7 @@
 from __future__ import annotations
 
 import argparse
+import hashlib
 import sys
 from collections.abc import Sequence
 
@@ -309,6 +310,47 @@ def _build_parser() -> argparse.ArgumentParser:
         help="cap each replica's device memory pool at this many MiB "
         "(the knob that squeezes the device tier below the working set)",
     )
+    serve.add_argument(
+        "--ingest-rate",
+        type=float,
+        default=None,
+        help="stream graph updates at this many edges per simulated "
+        "second while serving (enables the dynamic-graph lane)",
+    )
+    serve.add_argument(
+        "--ingest-edges",
+        type=int,
+        default=256,
+        help="total streamed edges over the session (dynamic lane)",
+    )
+    serve.add_argument(
+        "--delete-fraction",
+        type=float,
+        default=0.2,
+        help="fraction of streamed edges that delete a previously "
+        "inserted edge (churn; dynamic lane)",
+    )
+    serve.add_argument(
+        "--snapshot-every-ms",
+        type=float,
+        default=0.2,
+        help="minimum simulated ms between overlay-snapshot installs "
+        "(the staleness-vs-latency knob; dynamic lane)",
+    )
+    serve.add_argument(
+        "--compact-every",
+        type=int,
+        default=0,
+        help="canonically compact the delta graph every N applied "
+        "update batches (0 = never; dynamic lane)",
+    )
+    serve.add_argument(
+        "--repartition-threshold",
+        type=float,
+        default=None,
+        help="degree-balance drift that triggers an incremental "
+        "rebalance (needs --partition; dynamic lane)",
+    )
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument(
         "--out-dir",
@@ -486,11 +528,19 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.errors import GSamplerError
-    from repro.verify import builtin_specs, verify_algorithm
-
-    names = (
-        sorted(builtin_specs()) if args.algorithm == "all" else [args.algorithm]
+    from repro.verify import (
+        builtin_specs,
+        check_dynamic_equivalence,
+        verify_algorithm,
     )
+
+    run_dynamic = args.algorithm in ("all", "dynamic")
+    if args.algorithm == "all":
+        names = sorted(builtin_specs())
+    elif args.algorithm == "dynamic":
+        names = []
+    else:
+        names = [args.algorithm]
     superbatch = args.superbatch_batches or None
     rows = []
     all_passed = True
@@ -520,6 +570,41 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                     "ok" if check.passed else "FAIL",
                 ]
             )
+    if run_dynamic:
+        try:
+            dyn = check_dynamic_equivalence(
+                trials=args.trials, alpha=args.alpha, seed=args.seed
+            )
+        except GSamplerError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        all_passed = all_passed and dyn.passed
+        rows.append(
+            [
+                "dynamic",
+                "compact-bit-identity",
+                "-",
+                "-",
+                "-",
+                "-",
+                "-",
+                "ok" if dyn.storage_identical and dyn.samples_identical
+                else "FAIL",
+            ]
+        )
+        check = dyn.marginals
+        rows.append(
+            [
+                "dynamic",
+                check.name,
+                f"{check.chi2.statistic:.2f}",
+                str(check.chi2.dof),
+                f"{check.adjusted_chi2_p:.4f}",
+                f"{check.ks.statistic:.3f}",
+                f"{check.adjusted_ks_p:.4f}",
+                "ok" if check.passed else "FAIL",
+            ]
+        )
     print(
         format_table(
             ["Algorithm", "Variant", "chi2", "dof", "adj p", "KS D",
@@ -816,6 +901,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         composer = make_composer(
             args.composer, max_requests=args.superbatch_window
         )
+        updates = None
+        dynamic = None
+        if args.ingest_rate is not None:
+            from repro.dynamic import DynamicPolicy, UpdateSpec
+
+            updates = UpdateSpec(
+                num_edges=args.ingest_edges,
+                rate=args.ingest_rate,
+                delete_fraction=args.delete_fraction,
+                seed=args.seed,
+            )
+            dynamic = DynamicPolicy(
+                snapshot_every=args.snapshot_every_ms * 1e-3,
+                compact_every=args.compact_every,
+                repartition_threshold=args.repartition_threshold,
+            )
         with profiler.activate():
             # A 1-replica round-robin cluster is bit-identical to the
             # classic single-replica session, so everything routes
@@ -840,6 +941,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 host_tier_ratio=host_tier_ratio,
                 p2p=args.p2p,
                 hbm_budget=hbm_budget,
+                updates=updates,
+                dynamic=dynamic,
             )
     except GSamplerError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -921,6 +1024,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ["re-replication",
              f"{report.reprovision_bytes / 2**20:.2f} MiB over the link"]
         )
+    if report.dynamic:
+        rows.append(
+            ["ingested edges (insert/delete)",
+             f"{report.ingested_edges} / {report.deleted_edges} "
+             f"over {report.update_batches} batches"]
+        )
+        rows.append(
+            ["graph installs (snapshot/compact)",
+             f"{report.snapshots} / {report.compactions}"]
+        )
+        rows.append(
+            ["update staleness (mean/max ms)",
+             f"{report.mean_staleness_ms:.4f} / "
+             f"{report.max_staleness_ms:.4f}"]
+        )
+        rows.append(
+            ["delta refresh time (ms)", f"{report.refresh_ms:.4f}"]
+        )
+        if report.rebalances:
+            rows.append(
+                ["incremental rebalances",
+                 f"{report.rebalances} "
+                 f"({report.migrated_rows} rows / "
+                 f"{report.migrated_bytes / 2**20:.2f} MiB migrated)"]
+            )
     if report.replicas > 1:
         rows.append(["replicas / router", f"{report.replicas} / {report.router}"])
         if simulator.partition is not None:
@@ -1025,6 +1153,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # Chaos/elastic sessions carry availability/scaling keys and a
         # perturbed timeline, so they live in their own lane.
         kind = "elastic"
+    if report.dynamic:
+        # Serve-while-ingesting sessions carry staleness/refresh keys
+        # and a mutated graph, so they live in their own lane.
+        kind = "dynamic"
     tag = f"{kind}_{args.algorithm}_{args.dataset}_{args.device}"
     trace_path = (
         pathlib.Path(args.trace_out)
@@ -1086,6 +1218,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         meta["max_replicas"] = args.max_replicas
         meta["scale_interval_ms"] = args.scale_interval_ms
         meta["tune_batching"] = args.tune_batching
+    if updates is not None:
+        meta["ingest_rate"] = args.ingest_rate
+        meta["ingest_edges"] = args.ingest_edges
+        meta["delete_fraction"] = args.delete_fraction
+        meta["snapshot_every_ms"] = args.snapshot_every_ms
+        meta["compact_every"] = args.compact_every
+        if args.repartition_threshold is not None:
+            meta["repartition_threshold"] = args.repartition_threshold
+        # The determinism tripwire: two runs of the same dynamic
+        # session must print identical digests (CI diffs this line).
+        digest = hashlib.sha256(
+            repr(report.fingerprint()).encode()
+        ).hexdigest()
+        print(f"session fingerprint: {digest}")
     record_path = bench_path(out_dir, tag)
     record, previous = append_record(
         record_path, tag=tag, meta=meta, metrics=metrics

@@ -1,0 +1,44 @@
+"""Dynamic graphs: delta-aware container + streaming update workloads.
+
+Every other subsystem samples a frozen graph; production graphs mutate
+under the very traffic being served.  This package adds the dynamic
+axis:
+
+* :mod:`repro.dynamic.delta` — :class:`DeltaGraph`, an immutable base
+  CSC plus append-only edge insert/delete deltas with tombstone masks.
+  ``snapshot()`` materializes an overlay the compiled samplers consume
+  unmodified (per-column: surviving base neighbors first, appended
+  inserts after); ``compact()`` rebuilds a canonical base CSC — charged
+  to the device cost model like any other kernel — that is
+  **bit-identical** to a fresh CSR built from the same edge set in
+  canonical ``(dst, src)`` order;
+* :mod:`repro.dynamic.stream` — a seeded streaming-update workload
+  generator (:class:`UpdateSpec` / :func:`generate_update_stream`):
+  Poisson edge-arrival batches with Zipf-skewed endpoints and an
+  optional churn fraction deleting previously inserted edges, built on
+  the same one-RNG determinism contract as the request workloads;
+* :mod:`repro.dynamic.policy` — :class:`DynamicPolicy`, the
+  serve-while-ingesting knobs (snapshot epoch, compaction cadence,
+  incremental-repartition threshold) consumed by
+  :class:`~repro.serve.cluster.ClusterSimulator`.
+
+CLI: ``gsampler-repro serve --ingest-rate ... --compact-every ...
+--repartition-threshold ...``.
+"""
+
+from repro.dynamic.delta import AppliedUpdate, DeltaGraph
+from repro.dynamic.policy import DynamicPolicy
+from repro.dynamic.stream import (
+    UpdateBatch,
+    UpdateSpec,
+    generate_update_stream,
+)
+
+__all__ = [
+    "AppliedUpdate",
+    "DeltaGraph",
+    "DynamicPolicy",
+    "UpdateBatch",
+    "UpdateSpec",
+    "generate_update_stream",
+]

@@ -8,9 +8,17 @@ how much sampled frontier crosses the simulated interconnect
 (`repro.device.interconnect`).
 
 See :mod:`repro.partition.partitioners` for the hash and degree-balanced
-greedy edge-cut methods and the :class:`ShardView` replicas hold.
+greedy edge-cut methods and the :class:`ShardView` replicas hold, and
+:mod:`repro.partition.incremental` for drift tracking plus bounded node
+migration when the graph mutates under traffic.
 """
 
+from repro.partition.incremental import (
+    MigrationPlan,
+    PartitionTracker,
+    full_repartition,
+    incremental_rebalance,
+)
 from repro.partition.partitioners import (
     PARTITION_METHODS,
     GraphPartition,
@@ -24,9 +32,13 @@ from repro.partition.partitioners import (
 __all__ = [
     "PARTITION_METHODS",
     "GraphPartition",
+    "MigrationPlan",
+    "PartitionTracker",
     "ShardView",
+    "full_repartition",
     "greedy_partition",
     "hash_assignment",
     "hash_partition",
+    "incremental_rebalance",
     "make_partition",
 ]

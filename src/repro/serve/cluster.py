@@ -44,15 +44,30 @@ import contextlib
 import dataclasses
 import math
 
+import numpy as np
+
 from repro.cache import (
     DEFAULT_CACHE_RATIO,
     DEFAULT_HOST_TIER_RATIO,
     CacheStats,
+    FeatureCache,
 )
 from repro.datasets import Dataset
 from repro.device import DeviceSpec, LinkSpec, default_link_for, get_link
+from repro.dynamic import (
+    DeltaGraph,
+    DynamicPolicy,
+    UpdateBatch,
+    UpdateSpec,
+    generate_update_stream,
+)
 from repro.errors import ServeError
-from repro.partition import GraphPartition, make_partition
+from repro.partition import (
+    GraphPartition,
+    PartitionTracker,
+    incremental_rebalance,
+    make_partition,
+)
 from repro.profile.spans import Profiler
 from repro.serve.compose import BatchComposer, make_composer
 from repro.serve.control import AutoscalePolicy, Autoscaler
@@ -72,9 +87,11 @@ from repro.serve.router import Router, make_router
 from repro.serve.workload import Request, WorkloadSpec, generate_workload
 
 #: Same-timestamp event ordering: failures land before revivals before
-#: autoscale ticks before arrivals, so an arrival at the instant of a
-#: kill is routed by the post-kill fleet.
-_KILL, _REVIVE, _TICK, _ARRIVAL = range(4)
+#: autoscale ticks before graph updates before arrivals, so an arrival
+#: at the instant of a kill is routed by the post-kill fleet and an
+#: arrival at the instant of an update samples the post-update graph
+#: (once the snapshot epoch installs it).
+_KILL, _REVIVE, _TICK, _UPDATE, _ARRIVAL = range(5)
 
 
 class ClusterSimulator:
@@ -120,6 +137,20 @@ class ClusterSimulator:
         construct state mid-run (determinism).  Incompatible with a
         graph partition: sharding ties the fleet size to the shard
         count.
+    updates:
+        Optional streaming-update side of the session: an
+        :class:`~repro.dynamic.UpdateSpec` (generated here over this
+        graph's degree hotness) or a pre-built batch sequence.  Update
+        batches merge into the same global event walk as arrivals;
+        each applies to a :class:`~repro.dynamic.DeltaGraph` between
+        request batches, and the served graph refreshes on the
+        ``dynamic`` policy's snapshot/compaction cadence.  ``None``
+        (the default) builds no delta state at all, keeping static
+        sessions bit-identical to their pinned fingerprints.
+    dynamic:
+        :class:`~repro.dynamic.DynamicPolicy` knobs for the update
+        side; defaults to ``DynamicPolicy()`` when ``updates`` is set.
+        A ``repartition_threshold`` requires a graph partition.
     """
 
     def __init__(
@@ -143,6 +174,8 @@ class ClusterSimulator:
         host_tier_ratio: float = DEFAULT_HOST_TIER_RATIO,
         p2p: bool = False,
         hbm_budget: int | None = None,
+        updates: UpdateSpec | list | tuple | None = None,
+        dynamic: DynamicPolicy | None = None,
     ) -> None:
         if num_replicas < 1:
             raise ServeError(
@@ -218,9 +251,47 @@ class ClusterSimulator:
         #: ``"mixed"`` for a heterogeneous cluster.
         self.composer_name = names.pop() if len(names) == 1 else "mixed"
         self.feature_tiers = feature_tiers
+        # --- dynamic-graph state (serve-while-ingesting) --------------
+        if isinstance(updates, UpdateSpec):
+            updates = generate_update_stream(
+                updates,
+                num_nodes=dataset.num_nodes,
+                hotness=np.diff(dataset.graph.get("csc").indptr),
+            )
+        self._updates: list[UpdateBatch] = (
+            [] if updates is None else sorted(
+                updates, key=lambda b: (b.time, b.uid)
+            )
+        )
+        self.dynamic = (
+            dynamic
+            if dynamic is not None
+            else (DynamicPolicy() if self._updates else None)
+        )
+        if (
+            self.dynamic is not None
+            and self.dynamic.repartition_threshold is not None
+            and partition is None
+        ):
+            raise ServeError(
+                "a repartition threshold needs a graph partition whose "
+                "drift it can track"
+            )
+        self._delta = DeltaGraph(dataset.graph) if self._updates else None
+        self._tracker = (
+            PartitionTracker(partition)
+            if self._delta is not None and partition is not None
+            else None
+        )
+        #: Most recently installed graph (what the samplers currently
+        #: bind); starts as the immutable base.
+        self._current_graph = dataset.graph
         # One compile, shared by every replica: pipelines are stateless
         # with respect to the execution context.
         pipelines = build_pipelines(dataset, algorithm)
+        #: Kept so snapshot installs can rebind every compiled layer's
+        #: graph once (the pipelines are shared across the fleet).
+        self._pipelines = pipelines
         self.replicas = [
             Replica(
                 dataset,
@@ -249,6 +320,22 @@ class ClusterSimulator:
         self._kills_executed = 0
         self._hedge_wins = 0
         self._reprovision_bytes = 0
+        # Dynamic-session counters (reset per run()).
+        self._reset_dynamic_counters()
+
+    def _reset_dynamic_counters(self) -> None:
+        self._dyn_snapshots = 0
+        self._dyn_rebalances = 0
+        self._dyn_migrated_rows = 0
+        self._dyn_migrated_bytes = 0
+        self._dyn_refresh_seconds = 0.0
+        self._dyn_staleness_sum = 0.0
+        self._dyn_staleness_max = 0.0
+        self._dyn_staleness_edges = 0
+        #: (arrival time, edge count) of applied-but-not-yet-installed
+        #: update batches — the staleness ledger.
+        self._dyn_pending: list[tuple[float, int]] = []
+        self._dyn_last_install = 0.0
 
     # ------------------------------------------------------------------
     @property
@@ -287,13 +374,16 @@ class ClusterSimulator:
     # Control-plane execution
     # ------------------------------------------------------------------
     def _build_events(self, ordered: list[Request]) -> list[tuple]:
-        """Merge arrivals, kills, revivals, and autoscale ticks into one
-        time-ordered walk (ties broken by the event-kind priority, then
-        by schedule position / rid — fully deterministic)."""
+        """Merge arrivals, kills, revivals, autoscale ticks, and graph
+        updates into one time-ordered walk (ties broken by the
+        event-kind priority, then by schedule position / rid / uid —
+        fully deterministic)."""
         events: list[tuple] = [
             (request.arrival, _ARRIVAL, request.rid, request)
             for request in ordered
         ]
+        for batch in self._updates:
+            events.append((batch.time, _UPDATE, batch.uid, batch))
         if self.failures is not None:
             for idx, event in enumerate(self.failures.events):
                 events.append((event.time, _KILL, idx, event))
@@ -483,6 +573,151 @@ class ClusterSimulator:
                 )
         scaler.tune(now, self.replicas)
 
+    # ------------------------------------------------------------------
+    # Dynamic-graph execution (serve-while-ingesting)
+    # ------------------------------------------------------------------
+    def _execute_update(self, now: float, batch: UpdateBatch) -> None:
+        """Apply one update batch; install/compact/rebalance per policy.
+
+        Updates apply *between* request batches: the event loop fires
+        every batch due strictly before ``now`` first, so a snapshot
+        installed here is what the next fired batch samples.
+        """
+        self._delta.apply(batch)
+        self._dyn_pending.append((now, batch.num_edges))
+        if self._tracker is not None:
+            self._tracker.apply_updates(batch.src, batch.dst, batch.delete)
+        policy = self.dynamic
+        compact = (
+            policy.compact_every > 0
+            and self._delta.batches_applied % policy.compact_every == 0
+        )
+        if compact:
+            self._install_graph(now, compact=True)
+        elif now - self._dyn_last_install >= policy.snapshot_every:
+            self._install_graph(now, compact=False)
+        if (
+            self._tracker is not None
+            and policy.repartition_threshold is not None
+            and self._tracker.needs_rebalance(policy.repartition_threshold)
+        ):
+            self._rebalance(now)
+
+    def _install_graph(self, now: float, *, compact: bool) -> None:
+        """Materialize the delta and swap it under the compiled layers.
+
+        The rebuild is charged to *every* replica's sample queue (each
+        device merges its own copy, so in-flight sampling queues behind
+        the refresh — the latency half of the staleness-vs-latency
+        trade).  The compiled pipelines are shared across the fleet, so
+        the graph rebinds once.
+        """
+        delta = self._delta
+        workload = (
+            delta.compact_workload() if compact else delta.merge_workload()
+        )
+        dirty = delta.drain_dirty()
+        name = "graph_compact" if compact else "graph_snapshot"
+        for replica in self.replicas:
+            with replica.sample_ctx.on_queue(
+                replica._sample_queue, not_before=now
+            ):
+                replica.sample_ctx.record(name, **workload)
+            self._dyn_refresh_seconds += self.device.kernel_time(
+                bytes_moved=workload["bytes_read"] + workload["bytes_written"],
+                flops=workload["flops"],
+                tasks=workload["tasks"],
+            )
+        matrix = delta.compact() if compact else delta.snapshot()
+        self._current_graph = matrix
+        for pipeline in self._pipelines:
+            for sampler in pipeline.samplers:
+                sampler.graph = matrix
+        if not compact:
+            self._dyn_snapshots += 1
+        self._dyn_last_install = now
+        # Staleness: each pending batch was invisible from its arrival
+        # until this install.
+        for arrived, edges in self._dyn_pending:
+            lag = now - arrived
+            self._dyn_staleness_sum += lag * edges
+            self._dyn_staleness_max = max(self._dyn_staleness_max, lag)
+            self._dyn_staleness_edges += edges
+        self._dyn_pending = []
+        if self.dynamic.invalidate_cache and dirty.size:
+            for replica in self.replicas:
+                if replica.cache is None:
+                    continue
+                replica.cache.invalidate(dirty)
+                if compact and isinstance(replica.cache, FeatureCache):
+                    # A compaction is the natural re-admission point:
+                    # refill the tombstoned slots against live degrees.
+                    replica.cache.rerank(delta.degrees())
+
+    def _rebalance(self, now: float) -> None:
+        """Bounded shard migration when degree balance drifts too far.
+
+        Moves at most ``max_migrate_rows`` nodes from the most to the
+        least loaded shard (affinity-scored, see
+        :func:`~repro.partition.incremental_rebalance`), charges each
+        receiving replica's feature-row stream over the interconnect on
+        its transfer queue — the same wire re-replication uses — and
+        rebases the drift tracker so the next trigger measures fresh
+        drift.
+        """
+        policy = self.dynamic
+        tracker = self._tracker
+        plan = incremental_rebalance(
+            self._current_graph,
+            self.partition.assignment,
+            self.num_replicas,
+            target_balance=max(tracker.baseline_balance, 1.0),
+            max_moves=policy.max_migrate_rows,
+        )
+        if plan.num_moved == 0:
+            # Nothing movable under the overshoot guard: rebase so the
+            # trigger does not refire on every subsequent batch.
+            tracker.rebase(self.partition)
+            return
+        self.partition = dataclasses.replace(
+            self.partition,
+            assignment=plan.assignment,
+            edge_cut=plan.edge_cut,
+            shard_degrees=plan.shard_degrees,
+        )
+        link = (
+            self.link
+            if self.link is not None
+            else default_link_for(self.device.name)
+        )
+        for i, replica in enumerate(self.replicas):
+            replica.shard = self.partition.view(i)
+            incoming = plan.rows_into(i)
+            if incoming.size == 0:
+                continue
+            nbytes = int(incoming.size) * replica._row_bytes
+            seconds = link.bulk_transfer_time(nbytes)
+            with replica.io_ctx.on_queue(
+                replica._transfer_queue, not_before=now
+            ):
+                replica.io_ctx.record(
+                    f"shard_migration[{link.name}]",
+                    tasks=int(incoming.size),
+                    fixed_seconds=seconds,
+                )
+            self._dyn_migrated_bytes += nbytes
+        if hasattr(self.router, "partition"):
+            self.router.partition = self.partition
+        if policy.invalidate_cache:
+            # Moved rows change owners, so every replica's residency
+            # verdict for them is stale.
+            for replica in self.replicas:
+                if replica.cache is not None:
+                    replica.cache.invalidate(plan.moved_nodes)
+        self._dyn_rebalances += 1
+        self._dyn_migrated_rows += plan.num_moved
+        tracker.rebase(self.partition)
+
     def _resolve_hedges(self) -> None:
         """First completion wins; the duplicate is cancelled in
         accounting (its device time stays burned, its log is dropped)."""
@@ -514,6 +749,7 @@ class ClusterSimulator:
         self._kills_executed = 0
         self._hedge_wins = 0
         self._reprovision_bytes = 0
+        self._reset_dynamic_counters()
         events = self._build_events(ordered)
         # Session-scoped cache accounting: a simulator reused across
         # sessions must not bleed one session's hit/miss tally into the
@@ -526,6 +762,8 @@ class ClusterSimulator:
                     replica.advance_until(time)
                 if kind == _ARRIVAL:
                     self._route_arrival(time, payload)
+                elif kind == _UPDATE:
+                    self._execute_update(time, payload)
                 elif kind == _KILL:
                     self._execute_kill(time, payload)
                 elif kind == _REVIVE:
@@ -604,6 +842,36 @@ class ClusterSimulator:
                 report.scale_ups = actions.count("up")
                 report.scale_downs = actions.count("down")
                 report.tune_moves = actions.count("tune")
+        if self._delta is not None:
+            # Updates still pending at session end stayed invisible for
+            # the rest of the session; they count as stale to the end.
+            end = max(
+                max((r.last_completion for r in self.replicas), default=0.0),
+                events[-1][0] if events else 0.0,
+            )
+            for arrived, edges in self._dyn_pending:
+                lag = end - arrived
+                self._dyn_staleness_sum += lag * edges
+                self._dyn_staleness_max = max(self._dyn_staleness_max, lag)
+                self._dyn_staleness_edges += edges
+            self._dyn_pending = []
+            delta = self._delta
+            report.dynamic = True
+            report.ingested_edges = delta.inserted_edges
+            report.deleted_edges = delta.deleted_edges
+            report.update_batches = delta.batches_applied
+            report.snapshots = self._dyn_snapshots
+            report.compactions = delta.compactions
+            report.mean_staleness_ms = (
+                self._dyn_staleness_sum / self._dyn_staleness_edges * 1e3
+                if self._dyn_staleness_edges
+                else 0.0
+            )
+            report.max_staleness_ms = self._dyn_staleness_max * 1e3
+            report.refresh_ms = self._dyn_refresh_seconds * 1e3
+            report.rebalances = self._dyn_rebalances
+            report.migrated_rows = self._dyn_migrated_rows
+            report.migrated_bytes = self._dyn_migrated_bytes
         return report
 
 
@@ -628,6 +896,8 @@ def run_cluster_session(
     host_tier_ratio: float = DEFAULT_HOST_TIER_RATIO,
     p2p: bool = False,
     hbm_budget: int | None = None,
+    updates: UpdateSpec | list | tuple | None = None,
+    dynamic: DynamicPolicy | None = None,
 ) -> tuple[ClusterSimulator, ServeReport]:
     """One-call cluster session: build, generate workload, serve, report.
 
@@ -655,6 +925,8 @@ def run_cluster_session(
         host_tier_ratio=host_tier_ratio,
         p2p=p2p,
         hbm_budget=hbm_budget,
+        updates=updates,
+        dynamic=dynamic,
     )
     workload = cluster.build_workload(
         spec if spec is not None else WorkloadSpec(seed=seed)

@@ -209,6 +209,32 @@ class ServeReport:
     p2p_bytes: int = 0
     #: Simulated seconds spent on the interconnect for those rows.
     p2p_seconds: float = 0.0
+    #: True when the session served while ingesting graph updates
+    #: (:mod:`repro.dynamic`).  All fields below stay at their defaults
+    #: for static sessions, so classic reports — and :meth:`to_metrics`
+    #: — are unchanged from the frozen-graph subsystem.
+    dynamic: bool = False
+    #: Edge inserts / tombstoned deletes applied over the session.
+    ingested_edges: int = 0
+    deleted_edges: int = 0
+    #: Update batches applied between request batches.
+    update_batches: int = 0
+    #: Overlay-snapshot installs and canonical compactions executed.
+    snapshots: int = 0
+    compactions: int = 0
+    #: Edge-weighted mean / max time an applied update waited before a
+    #: snapshot made it visible to the samplers (the staleness half of
+    #: the staleness-vs-latency trade).
+    mean_staleness_ms: float = 0.0
+    max_staleness_ms: float = 0.0
+    #: Simulated device time the fleet spent merging/compacting deltas
+    #: on the sample queues (the latency half).
+    refresh_ms: float = 0.0
+    #: Incremental-repartition actions and the feature rows / bytes they
+    #: migrated across the interconnect.
+    rebalances: int = 0
+    migrated_rows: int = 0
+    migrated_bytes: int = 0
 
     @property
     def shed_rate(self) -> float:
@@ -305,6 +331,23 @@ class ServeReport:
             metrics["tune_moves"] = float(self.tune_moves)
             metrics["gpu_seconds"] = self.gpu_seconds
             metrics["reprovision_bytes"] = float(self.reprovision_bytes)
+        if self.dynamic:
+            # Dynamic sessions append to their own BENCH_dynamic_*
+            # trajectory, so these keys never perturb the classic lanes.
+            metrics["ingested_edges"] = float(self.ingested_edges)
+            metrics["deleted_edges"] = float(self.deleted_edges)
+            metrics["update_batches"] = float(self.update_batches)
+            metrics["snapshots"] = float(self.snapshots)
+            metrics["compactions"] = float(self.compactions)
+            metrics["mean_staleness_ms"] = self.mean_staleness_ms
+            metrics["max_staleness_ms"] = self.max_staleness_ms
+            metrics["refresh_ms"] = self.refresh_ms
+            metrics["rebalances"] = float(self.rebalances)
+            metrics["migrated_rows"] = float(self.migrated_rows)
+            metrics["migrated_bytes"] = float(self.migrated_bytes)
+            metrics["invalidated_rows"] = float(
+                self.cache.invalidated_rows if self.cache else 0
+            )
         return metrics
 
 

@@ -12,7 +12,13 @@ Three layers guard the pass pipeline:
   :class:`~repro.ir.passes.base.PassManager` runs after every pass when
   built with ``debug=True``.
 
-CLI: ``gsampler-repro verify <algorithm>``.
+:mod:`repro.verify.dynamic` extends the same machinery to mutating
+graphs: a compacted :class:`~repro.dynamic.DeltaGraph` must be
+bit-identical to a fresh CSC over the same edge set, and pre-compaction
+overlay snapshots must sample from the rebuilt graph's distribution.
+
+CLI: ``gsampler-repro verify <algorithm>`` (``dynamic`` runs the
+delta-graph check; ``all`` includes it).
 """
 
 from repro.verify.equivalence import (
@@ -26,6 +32,11 @@ from repro.verify.equivalence import (
     verification_graph,
     verify_algorithm,
 )
+from repro.verify.dynamic import (
+    DynamicCheck,
+    check_dynamic_equivalence,
+    graph_digest,
+)
 from repro.verify.invariants import check_invariants
 from repro.verify.oracle import EagerOracle, trace_oracle
 from repro.verify.stats import (
@@ -38,6 +49,7 @@ from repro.verify.stats import (
 )
 
 __all__ = [
+    "DynamicCheck",
     "EagerOracle",
     "EquivalenceReport",
     "TestResult",
@@ -46,11 +58,13 @@ __all__ = [
     "bonferroni",
     "builtin_specs",
     "check_distribution_equivalence",
+    "check_dynamic_equivalence",
     "check_invariants",
     "check_serving_equivalence",
     "chi2_homogeneity",
     "chi2_sf",
     "collect_edge_marginals",
+    "graph_digest",
     "ks_2samp",
     "pool_small_cells",
     "trace_oracle",
