@@ -10,6 +10,7 @@ from repro.algorithms.fastgcn import FastGCN
 from repro.algorithms.graphsage import GraphSAGE
 from repro.algorithms.graphsaint import GraphSAINT
 from repro.algorithms.hetgnn import HetGNN
+from repro.algorithms.labor import Labor
 from repro.algorithms.ladies import LADIES
 from repro.algorithms.node2vec import Node2Vec
 from repro.algorithms.pass_attention import PASS
@@ -27,6 +28,7 @@ _ALGORITHMS: dict[str, type[Algorithm]] = {
         PinSAGE,
         HetGNN,
         GraphSAGE,
+        Labor,
         VRGCN,
         SEAL,
         ShaDow,

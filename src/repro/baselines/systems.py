@@ -58,8 +58,11 @@ class GSamplerSystem(BaselineSystem):
         self.config = config if config is not None else OptimizationConfig()
 
     def supported_algorithms(self) -> frozenset[str]:
+        # ``labor`` is the Matrix-API variance-reduced sampler this
+        # reproduction adds; no comparison system implements it.
         return _ALL_BENCHED | frozenset(
-            {"graphsaint", "pinsage", "hetgnn", "vrgcn", "seal", "gcn_bs", "thanos"}
+            {"graphsaint", "pinsage", "hetgnn", "vrgcn", "seal", "gcn_bs",
+             "thanos", "labor"}
         )
 
     def build_pipeline(

@@ -17,6 +17,7 @@ from repro.cache.feature_cache import (
     FeatureCache,
     admit_rows,
 )
+from repro.cache.gather import GatherPlan, plan_gather, record_gather
 from repro.cache.ranking import degree_order, graph_degrees
 from repro.cache.tiered import (
     DEFAULT_HOST_TIER_RATIO,
@@ -32,7 +33,10 @@ __all__ = [
     "REMOTE_TIER",
     "CacheStats",
     "FeatureCache",
+    "GatherPlan",
     "GatherSplit",
+    "plan_gather",
+    "record_gather",
     "TierSpec",
     "TieredFeatureStore",
     "admit_rows",

@@ -74,7 +74,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument(
         "algorithm",
-        help="algorithm to verify (or 'all' for every verifiable one)",
+        help="algorithm to verify ('all' = every verifiable one incl. the "
+        "dynamic delta-graph and linkpred pair-compaction checks; "
+        "'dynamic' / 'linkpred' run just those; 'labor' checks the "
+        "variance-reduced sampler against the eager oracle)",
     )
     verify.add_argument("--trials", type=int, default=200)
     verify.add_argument("--alpha", type=float, default=0.01)
@@ -90,7 +93,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "profile",
         help="trace one sampling epoch: report, Chrome trace, BENCH record",
     )
-    profile.add_argument("algorithm")
+    profile.add_argument(
+        "algorithm",
+        nargs="?",
+        default=None,
+        help="algorithm to profile (e.g. graphsage, labor)",
+    )
+    profile.add_argument(
+        "--sampler",
+        default=None,
+        help="alias for the positional algorithm (e.g. --sampler labor "
+        "profiles the variance-reduced LABOR neighbor sampler)",
+    )
     profile.add_argument("--system", default="gsampler", choices=_SYSTEMS)
     profile.add_argument("--dataset", default="pd")
     profile.add_argument("--device", default="v100", choices=("v100", "t4", "cpu"))
@@ -177,6 +191,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="simulate an online serving session: queues, batching, SLOs",
     )
     serve.add_argument("--algorithm", default="graphsage")
+    serve.add_argument(
+        "--task",
+        default="node",
+        choices=("node", "linkpred"),
+        help="request payload type: node-classification seed ids (the "
+        "classic lane) or link-prediction (src, dst) pairs that are "
+        "compacted to their unique endpoints before sampling",
+    )
     serve.add_argument("--dataset", default="pd")
     serve.add_argument("--device", default="v100", choices=("v100", "t4", "cpu"))
     serve.add_argument("--scale", type=float, default=0.25)
@@ -447,7 +469,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("datasets", help="list catalog datasets")
-    sub.add_parser("algorithms", help="list the 15 implemented algorithms")
+    sub.add_parser("algorithms", help="list the 16 implemented algorithms")
     sub.add_parser("systems", help="list comparison systems")
     return parser
 
@@ -531,13 +553,15 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.verify import (
         builtin_specs,
         check_dynamic_equivalence,
+        check_linkpred_equivalence,
         verify_algorithm,
     )
 
     run_dynamic = args.algorithm in ("all", "dynamic")
+    run_linkpred = args.algorithm in ("all", "linkpred")
     if args.algorithm == "all":
         names = sorted(builtin_specs())
-    elif args.algorithm == "dynamic":
+    elif args.algorithm in ("dynamic", "linkpred"):
         names = []
     else:
         names = [args.algorithm]
@@ -605,6 +629,44 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 "ok" if check.passed else "FAIL",
             ]
         )
+    if run_linkpred:
+        try:
+            lp = check_linkpred_equivalence(
+                trials=args.trials, alpha=args.alpha, seed=args.seed
+            )
+        except GSamplerError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        all_passed = all_passed and lp.passed
+        rows.append(
+            [
+                "linkpred",
+                "pair-contract",
+                "-",
+                "-",
+                "-",
+                "-",
+                "-",
+                "ok"
+                if lp.compaction_ok
+                and lp.no_false_negatives
+                and lp.negatives_deterministic
+                else "FAIL",
+            ]
+        )
+        for check in lp.marginals.variants:
+            rows.append(
+                [
+                    "linkpred",
+                    check.name,
+                    f"{check.chi2.statistic:.2f}",
+                    str(check.chi2.dof),
+                    f"{check.adjusted_chi2_p:.4f}",
+                    f"{check.ks.statistic:.3f}",
+                    f"{check.adjusted_ks_p:.4f}",
+                    "ok" if check.passed else "FAIL",
+                ]
+            )
     print(
         format_table(
             ["Algorithm", "Variant", "chi2", "dof", "adj p", "KS D",
@@ -890,6 +952,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_seeds_per_request=args.max_seeds_per_request,
             skew=args.skew,
             seed=args.seed,
+            task=args.task,
         )
         policy = ServePolicy.preset(
             args.policy,
@@ -943,6 +1006,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 hbm_budget=hbm_budget,
                 updates=updates,
                 dynamic=dynamic,
+                task=args.task,
             )
     except GSamplerError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -962,6 +1026,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ["batch histogram",
          " ".join(f"{s}:{c}" for s, c in report.batch_histogram.items())],
     ]
+    if report.task != "node":
+        rows.append(
+            ["pairs served",
+             f"{report.pairs_served} "
+             f"({report.compaction_saved_rows} frontier rows saved "
+             "by endpoint compaction)"]
+        )
     cache = report.cache
     if cache is not None:
         rows.append(
@@ -1157,6 +1228,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # Serve-while-ingesting sessions carry staleness/refresh keys
         # and a mutated graph, so they live in their own lane.
         kind = "dynamic"
+    if args.task != "node":
+        # Task-typed sessions (pair payloads, compaction counters) are
+        # not comparable with the node-seed trajectories.
+        kind = f"{args.task}_{kind}" if kind != "serve" else args.task
     tag = f"{kind}_{args.algorithm}_{args.dataset}_{args.device}"
     trace_path = (
         pathlib.Path(args.trace_out)
@@ -1226,8 +1301,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         meta["compact_every"] = args.compact_every
         if args.repartition_threshold is not None:
             meta["repartition_threshold"] = args.repartition_threshold
-        # The determinism tripwire: two runs of the same dynamic
-        # session must print identical digests (CI diffs this line).
+    if args.task != "node":
+        meta["task"] = args.task
+    if updates is not None or args.task != "node":
+        # The determinism tripwire: two runs of the same dynamic or
+        # task-typed session must print identical digests (CI diffs
+        # this line).
         digest = hashlib.sha256(
             repr(report.fingerprint()).encode()
         ).hexdigest()
@@ -1268,6 +1347,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_profile(args: argparse.Namespace) -> int:
     import pathlib
+
+    if args.sampler is not None:
+        args.algorithm = args.sampler
+    if args.algorithm is None:
+        print(
+            "error: profile needs an algorithm (positional or --sampler)",
+            file=sys.stderr,
+        )
+        return 2
 
     if args.pipeline:
         return _cmd_profile_pipeline(args)

@@ -50,6 +50,7 @@ STEP_OF_OP: dict[str, Step] = {
     "sddmm": Step.COMPUTE,
     "individual_sample": Step.SELECT,
     "collective_sample": Step.SELECT,
+    "labor_sample": Step.SELECT,
     "row": Step.FINALIZE,
     "column": Step.FINALIZE,
     "compact": Step.FINALIZE,

@@ -363,6 +363,18 @@ class Matrix:
         )
         return self._spawn(out)
 
+    def labor_sample(
+        self,
+        k: int,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> "Matrix":
+        """LABOR variance-reduced sampling: correlated per-row coins,
+        Horvitz–Thompson edge weights, same per-edge marginals as
+        ``individual_sample(k)`` but smaller union frontiers."""
+        out = sampling.labor_sample(self.get("csc"), k, rng=rng, ctx=self.ctx)
+        return self._spawn(out)
+
     def collective_sample(
         self,
         k: int,

@@ -91,6 +91,65 @@ def individual_sample(
     return out
 
 
+def labor_sample(
+    matrix: SparseFormat,
+    k: int,
+    *,
+    rng: np.random.Generator | None = None,
+    ctx: ExecutionContext = NULL_CONTEXT,
+) -> CSC:
+    """LABOR-style variance-reduced per-column sampling (LABOR-0).
+
+    Every frontier (column) admits each of its in-edges with inclusion
+    probability ``pi_c = min(1, k / deg_c)`` — the same expected fanout
+    as ``individual_sample(k)`` — but the Bernoulli coins are *shared*:
+    one uniform variate is drawn per **row** node, and edge ``(r, c)``
+    survives iff ``u[r] < pi_c``.  Columns that share neighbors thus
+    tend to admit the *same* rows, shrinking the union frontier (and the
+    feature-transfer bytes it drives) without changing any per-edge
+    marginal.  Surviving edges carry Horvitz–Thompson importance weights
+    ``w_e / pi_c`` so aggregations stay unbiased.
+    """
+    if k <= 0:
+        raise ShapeError(f"fanout k must be positive, got {k}")
+    rng = rng if rng is not None else rnd.new_rng()
+    csc = to_csc(matrix, ctx)
+    deg = np.diff(csc.indptr).astype(np.int64)
+    pi_col = np.ones(csc.shape[1], dtype=np.float64)
+    occupied = deg > 0
+    pi_col[occupied] = np.minimum(1.0, float(k) / deg[occupied])
+    pi_edge = np.repeat(pi_col, deg)
+    # One shared uniform per row node — the correlated-Bernoulli core.
+    u = rng.random(csc.shape[0])
+    keep = u[csc.rows] < pi_edge
+    picks = np.flatnonzero(keep).astype(INDEX_DTYPE)
+    kept = keep.astype(INDEX_DTYPE)
+    csum = np.zeros(csc.nnz + 1, dtype=INDEX_DTYPE)
+    np.cumsum(kept, out=csum[1:])
+    indptr = csum[csc.indptr].astype(INDEX_DTYPE)
+    base_vals = (
+        np.ones(len(picks), dtype=np.float64)
+        if csc.values is None
+        else csc.values[picks].astype(np.float64)
+    )
+    out = CSC(
+        indptr=indptr,
+        rows=csc.rows[picks],
+        values=(base_vals / pi_edge[picks]).astype(np.float32),
+        shape=csc.shape,
+        edge_ids=(picks if csc.edge_ids is None else csc.edge_ids[picks]),
+    )
+    ctx.record(
+        "labor_sample",
+        bytes_read=csc.shape[1] * 2 * _ITEM
+        + csc.nnz * (_ITEM + (0 if csc.values is None else _VAL)),
+        bytes_written=out.nbytes(),
+        flops=csc.nnz * 2.0,  # threshold compare + HT reweight per edge
+        tasks=max(csc.nnz, 1),  # edge-parallel candidate scan
+    )
+    return out
+
+
 def fused_extract_individual_sample(
     graph_csc: CSC,
     frontiers: np.ndarray,

@@ -25,6 +25,7 @@ IMPURE_OPS = frozenset(
     {
         "individual_sample",
         "collective_sample",
+        "labor_sample",
         "fused_extract_select",
         "sb_collective_sample",
     }
@@ -43,6 +44,7 @@ MATRIX_OPS = frozenset(
         "sddmm",
         "individual_sample",
         "collective_sample",
+        "labor_sample",
         "compact",
         "with_values",
         "fused_extract_select",
@@ -60,6 +62,7 @@ STRUCTURE_OPS = frozenset(
         "slice_rows",
         "individual_sample",
         "collective_sample",
+        "labor_sample",
         "fused_extract_select",
         "sb_slice_cols",
         "sb_collective_sample",

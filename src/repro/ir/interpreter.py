@@ -240,6 +240,10 @@ class Interpreter:
             rng=rng,
         )
 
+    def _op_labor_sample(self, node, args, inputs, rng):
+        matrix = args[0]
+        return matrix.labor_sample(node.attrs["k"], rng=rng)
+
     def _op_collective_sample(self, node, args, inputs, rng):
         matrix = args[0]
         probs = np.asarray(args[1]) if node.attrs.get("has_probs") else None

@@ -35,6 +35,7 @@ CONSUMER_COST: dict[str, dict[str, float]] = {
     "map_elementwise": {"coo": 1.0, "csr": 1.0, "csc": 1.0},
     "individual_sample": {"csc": 1.0, "coo": 3.5, "csr": 5.0},
     "collective_sample": {"csc": 1.0, "coo": 2.0, "csr": 3.0},
+    "labor_sample": {"csc": 1.0, "coo": 3.0, "csr": 4.5},
     "spmm": {"coo": 1.0, "csr": 1.0, "csc": 1.3},
     "row": {"csr": 0.3, "coo": 1.0, "csc": 1.2},
     "default": {"csc": 1.0, "coo": 1.0, "csr": 1.0},
@@ -178,6 +179,7 @@ class GreedyLayoutPass(Pass):
         "slice_rows": "csr",
         "individual_sample": "csc",
         "collective_sample": "csc",
+        "labor_sample": "csc",
         "fused_extract_select": "csc",
         "sb_slice_cols": "csc",
         "sb_collective_sample": "csc",

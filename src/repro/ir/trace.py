@@ -304,6 +304,21 @@ class MatrixProxy(Proxy):
         )
         return MatrixProxy(self.tracer, node.node_id, meta)
 
+    def labor_sample(self, k: int) -> "MatrixProxy":
+        node = self.tracer.graph.add_node(
+            "labor_sample", (self.node_id,), {"k": int(k)}
+        )
+        # Expected kept edges per column equal individual_sample's; the
+        # correlation shrinks the row *union*, not the edge count.
+        est_nnz = min(self.meta.est_nnz, float(k) * max(self.meta.est_cols, 1.0))
+        meta = Meta(
+            "matrix",
+            est_rows=self.meta.est_rows,
+            est_cols=self.meta.est_cols,
+            est_nnz=est_nnz,
+        )
+        return MatrixProxy(self.tracer, node.node_id, meta)
+
     def collective_sample(
         self,
         k: int,

@@ -16,11 +16,13 @@ import dataclasses
 import numpy as np
 
 from repro.algorithms.base import Pipeline
+from repro.cache.gather import plan_gather, record_gather
 from repro.core import GraphSample, minibatches, new_rng
 from repro.datasets import Dataset
 from repro.device import DeviceSpec, ExecutionContext
 from repro.learning.models import SampledGNN
-from repro.learning.nn import SGD, accuracy, softmax_cross_entropy
+from repro.learning.nn import SGD
+from repro.tasks import NodeClassificationTask, Task, TaskBatch
 
 
 @dataclasses.dataclass
@@ -57,6 +59,7 @@ class Trainer:
         batch_size: int = 1024,
         lr: float = 0.05,
         seed: int = 0,
+        task: Task | None = None,
     ) -> None:
         self.pipeline = pipeline
         self.model = model
@@ -69,6 +72,12 @@ class Trainer:
         self.batch_size = batch_size
         self.optimizer = SGD(model.parameters(), lr=lr)
         self.rng = new_rng(seed)
+        #: Workload definition: what an epoch iterates, how a mini-batch
+        #: becomes sampler seeds, and which head/loss trains on it.  The
+        #: default reproduces the historical node-classification path
+        #: bit-for-bit (same arrays, zero extra RNG draws).
+        self.task = task if task is not None else NodeClassificationTask()
+        self.task.prepare(dataset)
 
     # ------------------------------------------------------------------
     def _gather_features(
@@ -86,33 +95,28 @@ class Trainer:
         feature values are unchanged either way, so cached and uncached
         runs train identically.
         """
-        feats = self.dataset.features
-        nodes = sample.all_nodes
-        gathered = len(nodes)
-        row_bytes = feats.shape[1] * 4
-        if cache is None:
-            host_rows = gathered
-        else:
-            _, host_rows = cache.record_gather(nodes)
-        train_ctx.record(
-            "feature_gather",
-            bytes_read=gathered * row_bytes,
-            bytes_written=gathered * row_bytes,
-            tasks=max(gathered, 1),
-            graph_bytes=host_rows * row_bytes,
-        )
+        plan = plan_gather(sample.all_nodes, cache)
+        record_gather(train_ctx, plan, self.dataset.features.shape[1] * 4)
 
     def _compute_batch(
         self,
         sample: GraphSample,
         train_ctx: ExecutionContext,
+        batch: TaskBatch | None = None,
     ) -> tuple[float, float]:
-        """Forward/backward/step for one batch, charged as dense compute."""
+        """Forward/backward/step for one batch, charged as dense compute.
+
+        The task owns forward + loss (returning the gradient w.r.t. the
+        model's outputs); optimizer mechanics stay here so they're
+        task-agnostic.
+        """
         feats = self.dataset.features
-        labels = self.dataset.labels[sample.seeds]
         gathered = len(sample.all_nodes)
-        logits = self.model.forward(sample, feats)
-        loss, grad = softmax_cross_entropy(logits, labels)
+        if batch is None:
+            batch = TaskBatch(nodes=sample.seeds)
+        loss, grad, metric = self.task.loss_and_metric(
+            self.model, sample, feats, batch, self.dataset
+        )
         self.model.zero_grad()
         self.model.backward(grad)
         self.optimizer.step()
@@ -123,15 +127,16 @@ class Trainer:
             bytes_written=gathered * feats.shape[1] * 4,
             tasks=max(gathered, 1),
         )
-        return loss, accuracy(logits, labels)
+        return loss, metric
 
     def _train_batch(
         self,
         sample: GraphSample,
         train_ctx: ExecutionContext,
+        batch: TaskBatch | None = None,
     ) -> tuple[float, float]:
         self._gather_features(sample, train_ctx)
-        return self._compute_batch(sample, train_ctx)
+        return self._compute_batch(sample, train_ctx, batch)
 
     # ------------------------------------------------------------------
     def train(
@@ -148,18 +153,20 @@ class Trainer:
         )
         acc_history: list[float] = []
         last_loss = float("nan")
+        units = self.task.train_units(self.dataset)
         for _ in range(epochs):
             batches = minibatches(
-                self.dataset.train_ids, self.batch_size, shuffle=True, rng=self.rng
+                units, self.batch_size, shuffle=True, rng=self.rng
             )
             if max_batches_per_epoch is not None:
                 batches = batches[:max_batches_per_epoch]
             epoch_acc: list[float] = []
             for batch in batches:
+                task_batch = self.task.materialize(batch, self.rng)
                 sample = self.pipeline.sample_batch(
-                    batch, ctx=sample_ctx, rng=self.rng
+                    task_batch.nodes, ctx=sample_ctx, rng=self.rng
                 )
-                loss, acc = self._train_batch(sample, train_ctx)
+                loss, acc = self._train_batch(sample, train_ctx, task_batch)
                 last_loss = loss
                 epoch_acc.append(acc)
             acc_history.append(float(np.mean(epoch_acc)) if epoch_acc else 0.0)

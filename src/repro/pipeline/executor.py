@@ -34,6 +34,8 @@ from repro.cache import (
     CacheStats,
     FeatureCache,
     TieredFeatureStore,
+    plan_gather,
+    record_gather,
 )
 from repro.core import minibatches
 from repro.datasets import Dataset
@@ -42,6 +44,7 @@ from repro.errors import ShapeError
 from repro.learning.models import SampledGNN
 from repro.learning.trainer import Trainer, TrainResult
 from repro.profile.spans import Profiler
+from repro.tasks import Task
 
 #: How many batches the sampler may run ahead of the trainer; 2 is the
 #: classic double-buffering depth (one batch in flight per stage).
@@ -146,6 +149,7 @@ class PipelinedTrainer(Trainer):
         host_tier_ratio: float = DEFAULT_HOST_TIER_RATIO,
         hbm_budget: int | None = None,
         prefetch: bool = True,
+        task: Task | None = None,
     ) -> None:
         if prefetch_depth < 1:
             raise ShapeError(
@@ -160,6 +164,7 @@ class PipelinedTrainer(Trainer):
             batch_size=batch_size,
             lr=lr,
             seed=seed,
+            task=task,
         )
         self.prefetch_depth = prefetch_depth
         self.cache_ratio = cache_ratio
@@ -188,31 +193,23 @@ class PipelinedTrainer(Trainer):
             with train_ctx.on_queue("transfer", not_before=fetch_after):
                 self._gather_features(sample, train_ctx, cache)
             return train_ctx.queue("transfer").ready
-        nodes = sample.all_nodes
         row_bytes = self.dataset.features.shape[1] * 4
-        split = cache.record_gather(nodes)
         # Remote rows are DMA'd straight into the staging buffer by the
         # remote wire (charged below on its own queue), so only the
         # device + host bands go through the local gather; with no
         # remote tail (host_ratio=1.0) this record is byte-identical to
         # the flat path's.
-        gathered = split.device_rows + split.host_rows
+        plan = plan_gather(sample.all_nodes, cache)
         with train_ctx.on_queue("transfer", not_before=fetch_after):
-            train_ctx.record(
-                "feature_gather",
-                bytes_read=gathered * row_bytes,
-                bytes_written=gathered * row_bytes,
-                tasks=max(gathered, 1),
-                graph_bytes=split.host_rows * row_bytes,
-            )
+            record_gather(train_ctx, plan, row_bytes)
         transferred_at = train_ctx.queue("transfer").ready
-        if split.remote_rows > 0:
+        if plan.remote_rows > 0:
             with train_ctx.on_queue("remote", not_before=fetch_after):
                 remote = train_ctx.record(
                     f"remote_tier_fetch[{cache.remote_tier.name}]",
-                    tasks=split.remote_rows,
+                    tasks=plan.remote_rows,
                     fixed_seconds=cache.remote_tier.fetch_time(
-                        split.remote_rows * row_bytes
+                        plan.remote_rows * row_bytes
                     ),
                 )
             transferred_at = max(transferred_at, remote.sim_end)
@@ -267,11 +264,12 @@ class PipelinedTrainer(Trainer):
 
         acc_history: list[float] = []
         last_loss = float("nan")
+        units = self.task.train_units(self.dataset)
         # Completion time of each batch's compute, indexed per epoch; the
         # prefetch window looks back ``prefetch_depth`` entries.
         for epoch in range(epochs):
             batches = minibatches(
-                self.dataset.train_ids, self.batch_size, shuffle=True, rng=self.rng
+                units, self.batch_size, shuffle=True, rng=self.rng
             )
             if max_batches_per_epoch is not None:
                 batches = batches[:max_batches_per_epoch]
@@ -287,9 +285,10 @@ class PipelinedTrainer(Trainer):
                         else 0.0
                     )
                     with span(f"batch[{i}]", "batch", size=len(batch)):
+                        task_batch = self.task.materialize(batch, self.rng)
                         with sample_ctx.on_queue("sample", not_before=slot_free):
                             sample = self.pipeline.sample_batch(
-                                batch, ctx=sample_ctx, rng=self.rng
+                                task_batch.nodes, ctx=sample_ctx, rng=self.rng
                             )
                         sampled_at = sample_ctx.queue("sample").ready
                         # A synchronous loader cannot start a batch's
@@ -305,7 +304,9 @@ class PipelinedTrainer(Trainer):
                         with train_ctx.on_queue(
                             "compute", not_before=transferred_at
                         ):
-                            loss, acc = self._compute_batch(sample, train_ctx)
+                            loss, acc = self._compute_batch(
+                                sample, train_ctx, task_batch
+                            )
                         compute_done.append(train_ctx.queue("compute").ready)
                     last_loss = loss
                     epoch_acc.append(acc)

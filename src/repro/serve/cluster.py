@@ -84,7 +84,7 @@ from repro.serve.replica import (
     build_pipelines,
 )
 from repro.serve.router import Router, make_router
-from repro.serve.workload import Request, WorkloadSpec, generate_workload
+from repro.serve.workload import Request, WorkloadSpec
 
 #: Same-timestamp event ordering: failures land before revivals before
 #: autoscale ticks before graph updates before arrivals, so an arrival
@@ -176,6 +176,7 @@ class ClusterSimulator:
         hbm_budget: int | None = None,
         updates: UpdateSpec | list | tuple | None = None,
         dynamic: DynamicPolicy | None = None,
+        task: str = "node",
     ) -> None:
         if num_replicas < 1:
             raise ServeError(
@@ -212,6 +213,9 @@ class ClusterSimulator:
         self.dataset = dataset
         self.algorithm = algorithm
         self.device = device
+        #: Workload task every replica serves (``"node"`` or
+        #: ``"linkpred"``); validated by the replicas.
+        self.task = task
         self.policy = policy if policy is not None else ServePolicy()
         self.profiler = profiler
         if isinstance(partition, str):
@@ -307,6 +311,7 @@ class ClusterSimulator:
                 queue_prefix=f"r{i}:" if fleet > 1 else "",
                 shard=partition.view(i) if partition is not None else None,
                 link=link if partition is not None else None,
+                task=task,
                 active=i < num_replicas,
                 feature_tiers=feature_tiers,
                 host_tier_ratio=host_tier_ratio,
@@ -359,11 +364,7 @@ class ClusterSimulator:
 
     def build_workload(self, spec: WorkloadSpec) -> list[Request]:
         """Generate the spec's request stream over this graph's nodes."""
-        return generate_workload(
-            spec,
-            num_nodes=self.dataset.num_nodes,
-            hotness=self.replicas[0].degree_hotness(),
-        )
+        return self.replicas[0].build_workload(spec)
 
     def _span(self, name: str, category: str, **attrs: object):
         if self.profiler is None:
@@ -818,6 +819,12 @@ class ClusterSimulator:
         )
         report.link_seconds = sum(r.link_seconds for r in self.replicas)
         report.composer = self.composer_name
+        if self.task != "node":
+            report.task = self.task
+            report.pairs_served = sum(r.pairs_served for r in self.replicas)
+            report.compaction_saved_rows = sum(
+                r.compaction_saved_rows for r in self.replicas
+            )
         report.padding_seeds = sum(r.padding_seeds for r in self.replicas)
         report.dedup_rows = sum(r.dedup_rows for r in self.replicas)
         report.superbatch_requests = sum(
@@ -898,6 +905,7 @@ def run_cluster_session(
     hbm_budget: int | None = None,
     updates: UpdateSpec | list | tuple | None = None,
     dynamic: DynamicPolicy | None = None,
+    task: str = "node",
 ) -> tuple[ClusterSimulator, ServeReport]:
     """One-call cluster session: build, generate workload, serve, report.
 
@@ -927,8 +935,14 @@ def run_cluster_session(
         hbm_budget=hbm_budget,
         updates=updates,
         dynamic=dynamic,
+        task=task,
     )
-    workload = cluster.build_workload(
-        spec if spec is not None else WorkloadSpec(seed=seed)
-    )
+    if spec is None:
+        spec = WorkloadSpec(seed=seed, task=task)
+    elif spec.task != task:
+        raise ServeError(
+            f"workload spec task {spec.task!r} does not match the "
+            f"session task {task!r}"
+        )
+    workload = cluster.build_workload(spec)
     return cluster, cluster.run(workload)

@@ -156,6 +156,14 @@ class ServeReport:
     cross_shard_rows: int = 0
     cross_shard_bytes: int = 0
     link_seconds: float = 0.0
+    #: Workload task the session served.  ``"node"`` (the default) keeps
+    #: the report — and :meth:`to_metrics` — identical to the pre-task
+    #: subsystem; the pair fields below stay zero there.
+    task: str = "node"
+    #: Candidate pairs (positive + negative) scored across the fleet.
+    pairs_served: int = 0
+    #: Raw pair-endpoint slots the per-batch compaction collapsed away.
+    compaction_saved_rows: int = 0
     #: Batch-composition policy the session ran under.  ``"fifo"`` (the
     #: default) keeps the report — and :meth:`to_metrics` — identical to
     #: the pre-composer subsystem; the fields below stay zero there.
@@ -296,6 +304,13 @@ class ServeReport:
             metrics["cross_shard_rows"] = float(self.cross_shard_rows)
             metrics["cross_shard_bytes"] = float(self.cross_shard_bytes)
             metrics["link_ms"] = self.link_seconds * 1e3
+        if self.task != "node":
+            # Pair-task lanes get their own trajectory tag, so new keys
+            # here never perturb the committed node-task lanes' schema.
+            metrics["pairs_served"] = float(self.pairs_served)
+            metrics["compaction_saved_rows"] = float(
+                self.compaction_saved_rows
+            )
         if self.composer != "fifo":
             # Composer lanes get their own trajectory tag, so new keys
             # here never perturb the committed FIFO lanes' schema.

@@ -37,6 +37,7 @@ from repro.cache import (
     DEFAULT_HOST_TIER_RATIO,
     FeatureCache,
     TieredFeatureStore,
+    plan_gather,
 )
 from repro.datasets import Dataset
 from repro.device import (
@@ -51,7 +52,13 @@ from repro.partition import ShardView
 from repro.profile.spans import Profiler
 from repro.serve.compose import BatchComposer, make_composer
 from repro.serve.metrics import RequestLog
-from repro.serve.workload import Request, WorkloadSpec, generate_workload
+from repro.serve.workload import (
+    WORKLOAD_TASKS,
+    Request,
+    WorkloadSpec,
+    generate_workload,
+)
+from repro.tasks import edge_endpoints_of, unique_and_compact_node_pairs
 from repro.stats import SlidingWindow
 
 #: Degradation-ladder depth: 0 = full fidelity, 1 = reduced fanout,
@@ -264,6 +271,7 @@ class Replica:
         queue_prefix: str = "",
         shard: ShardView | None = None,
         link: LinkSpec | None = None,
+        task: str = "node",
         active: bool = True,
         feature_tiers: bool = False,
         host_tier_ratio: float = DEFAULT_HOST_TIER_RATIO,
@@ -280,9 +288,19 @@ class Replica:
             raise ServeError(
                 "p2p feature fetch needs the tiered store (feature_tiers)"
             )
+        if task not in WORKLOAD_TASKS:
+            raise ServeError(
+                f"unknown serving task {task!r}; "
+                f"available: {list(WORKLOAD_TASKS)}"
+            )
         self.dataset = dataset
         self.algorithm = algorithm
         self.device = device
+        #: Workload task: how request payloads decode into sampler
+        #: seeds.  ``"node"`` (the default) treats them as seed nodes —
+        #: byte-identical to the pre-task replica; ``"linkpred"``
+        #: compacts flattened endpoint pairs to a unique node set first.
+        self.task = task
         self.policy = policy if policy is not None else ServePolicy()
         self.profiler = profiler
         self.replica_id = replica_id
@@ -425,6 +443,13 @@ class Replica:
         self.dedup_rows = 0
         self.superbatch_requests = 0
         self.superbatch_batches = 0
+        # Pair-task accounting (stays zero for node workloads).
+        #: Candidate pairs (positive + negative) this replica scored.
+        self.pairs_served = 0
+        #: Raw endpoint slots the per-batch compaction collapsed away
+        #: (raw pair endpoints minus unique seed nodes) — the sampling
+        #: and feature-fetch work the compaction avoided.
+        self.compaction_saved_rows = 0
 
     # ------------------------------------------------------------------
     def degree_hotness(self) -> np.ndarray:
@@ -437,6 +462,11 @@ class Replica:
             spec,
             num_nodes=self.dataset.num_nodes,
             hotness=self.degree_hotness(),
+            edges=(
+                edge_endpoints_of(self.dataset.graph)
+                if spec.task == "linkpred"
+                else None
+            ),
         )
 
     def superbatch_window(
@@ -713,6 +743,20 @@ class Replica:
             self._level -= 1
             window.clear()
 
+    def _compact_pairs(self, flat_pairs: np.ndarray) -> np.ndarray:
+        """Compact flattened endpoint pairs to the unique seed-node set.
+
+        The graphbolt-style compaction step of the link-prediction path:
+        a batch's candidate pairs collapse to one sorted unique node
+        array the sampler (and the feature fetch) runs over once, no
+        matter how many pairs share an endpoint.
+        """
+        pairs = flat_pairs.reshape(-1, 2)
+        seeds, _, _ = unique_and_compact_node_pairs(pairs)
+        self.pairs_served += len(pairs)
+        self.compaction_saved_rows += int(flat_pairs.size) - int(seeds.size)
+        return seeds
+
     def _serve_batch(
         self, batch: list[Request], fire: float, batch_id: int
     ) -> None:
@@ -720,6 +764,8 @@ class Replica:
         level = self._level
         pipeline = self._pipelines[1 if level >= 1 else 0]
         seeds = np.concatenate([r.seeds for r in batch])
+        if self.task == "linkpred":
+            seeds = self._compact_pairs(seeds)
         sizes = [int(r.seeds.size) for r in batch]
         self.padding_seeds += max(sizes) * len(sizes) - sum(sizes)
         attrs: dict[str, object] = dict(
@@ -752,7 +798,10 @@ class Replica:
         """
         level = self._level
         pipeline = self._pipelines[1 if level >= 1 else 0]
-        seed_batches = [r.seeds for r in batch]
+        seed_batches = [
+            self._compact_pairs(r.seeds) if self.task == "linkpred" else r.seeds
+            for r in batch
+        ]
         total_seeds = sum(int(s.size) for s in seed_batches)
         attrs: dict[str, object] = dict(
             requests=len(batch), seeds=total_seeds, level=level
@@ -789,14 +838,12 @@ class Replica:
         wires, which is the tiered store's overlap win.
         """
         tiered = isinstance(self.cache, TieredFeatureStore)
-        split = None
-        if tiered:
-            split = self.cache.record_gather(nodes)
-            hits = split.device_rows
-            misses = split.total - split.device_rows
-        elif self.cache is not None:
-            hits, misses = self.cache.record_gather(nodes)
+        if self.cache is not None:
+            plan = plan_gather(nodes, self.cache)
+            hits = plan.device_rows
+            misses = int(nodes.size) - hits
         else:
+            plan = plan_gather(nodes, None)
             hits, misses = 0, int(nodes.size)
         cached_only = level >= MAX_DEGRADE_LEVEL and self.cache is not None
         # Sharded replica: frontier nodes owned by other shards must
@@ -823,18 +870,15 @@ class Replica:
         # Cached-only service reads just the device-resident rows;
         # misses are answered from stale/default embeddings instead
         # of crossing PCIe — zero host traffic, smaller reads.
-        rows = hits if cached_only else int(nodes.size)
-        host_rows = 0 if cached_only else misses
-        if tiered and not cached_only:
-            # Only the pinned-host band crosses PCIe as UVA traffic
-            # (same per-byte price as a flat miss).  p2p and remote rows
-            # are DMA'd straight into the staging buffer by their own
-            # wires (charged below, on their own queues), so they leave
-            # the transfer queue's local read/write entirely; with both
-            # tiers empty (the full-budget default) this record is
-            # byte-identical to the flat path's.
-            host_rows = split.host_rows
-            rows = split.device_rows + split.host_rows
+        # Only the pinned-host band crosses PCIe as UVA traffic (same
+        # per-byte price as a flat miss).  With the tiered store, p2p
+        # and remote rows are DMA'd straight into the staging buffer by
+        # their own wires (charged below, on their own queues), so they
+        # leave the transfer queue's local read/write entirely; with
+        # both tiers empty (the full-budget default) the plan is
+        # byte-identical to the flat path's.
+        rows = hits if cached_only else plan.gathered
+        host_rows = 0 if cached_only else plan.host_rows
         with self.io_ctx.on_queue(
             self._transfer_queue, not_before=sampled_at
         ):
@@ -847,14 +891,14 @@ class Replica:
             )
         completion = self.io_ctx.queue(self._transfer_queue).ready
         if tiered and not cached_only:
-            if split.remote_rows > 0:
-                remote_bytes = split.remote_rows * self._row_bytes
+            if plan.remote_rows > 0:
+                remote_bytes = plan.remote_rows * self._row_bytes
                 with self.io_ctx.on_queue(
                     self._remote_queue, not_before=sampled_at
                 ):
                     self.io_ctx.record(
                         f"remote_tier_fetch[{self.cache.remote_tier.name}]",
-                        tasks=split.remote_rows,
+                        tasks=plan.remote_rows,
                         fixed_seconds=self.cache.remote_tier.fetch_time(
                             remote_bytes
                         ),
@@ -862,19 +906,19 @@ class Replica:
                 completion = max(
                     completion, self.io_ctx.queue(self._remote_queue).ready
                 )
-            if split.p2p_rows > 0:
+            if plan.p2p_rows > 0:
                 link = self.cache.link
-                p2p_bytes = split.p2p_rows * self._row_bytes
+                p2p_bytes = plan.p2p_rows * self._row_bytes
                 hop = link.transfer_time(p2p_bytes)
                 with self.io_ctx.on_queue(
                     self._p2p_queue, not_before=sampled_at
                 ):
                     self.io_ctx.record(
                         f"p2p_fetch[{link.name}]",
-                        tasks=split.p2p_rows,
+                        tasks=plan.p2p_rows,
                         fixed_seconds=hop,
                     )
-                self.p2p_rows += split.p2p_rows
+                self.p2p_rows += plan.p2p_rows
                 self.p2p_bytes += p2p_bytes
                 self.p2p_seconds += hop
                 completion = max(

@@ -1,0 +1,49 @@
+"""Task-pluggable workload layer (node classification, link prediction)."""
+
+from __future__ import annotations
+
+from repro.errors import GSamplerError
+from repro.tasks.base import Task, TaskBatch, unique_and_compact_node_pairs
+from repro.tasks.link_prediction import (
+    LinkPredictionTask,
+    edge_endpoints_of,
+    edge_keys,
+    negative_sample,
+    pair_auc,
+)
+from repro.tasks.node_classification import NodeClassificationTask
+
+__all__ = [
+    "Task",
+    "TaskBatch",
+    "NodeClassificationTask",
+    "LinkPredictionTask",
+    "available_tasks",
+    "edge_endpoints_of",
+    "edge_keys",
+    "make_task",
+    "negative_sample",
+    "pair_auc",
+    "unique_and_compact_node_pairs",
+]
+
+_TASKS: dict[str, type[Task]] = {
+    NodeClassificationTask.name: NodeClassificationTask,
+    LinkPredictionTask.name: LinkPredictionTask,
+}
+
+
+def available_tasks() -> tuple[str, ...]:
+    """Registered task names, sorted (the ``--task`` CLI choices)."""
+    return tuple(sorted(_TASKS))
+
+
+def make_task(name: str, **kwargs) -> Task:
+    """Instantiate a registered task by name (kwargs to its ctor)."""
+    try:
+        cls = _TASKS[name]
+    except KeyError:
+        raise GSamplerError(
+            f"unknown task {name!r}; available: {', '.join(available_tasks())}"
+        ) from None
+    return cls(**kwargs)

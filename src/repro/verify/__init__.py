@@ -38,6 +38,7 @@ from repro.verify.dynamic import (
     graph_digest,
 )
 from repro.verify.invariants import check_invariants
+from repro.verify.linkpred import LinkpredCheck, check_linkpred_equivalence
 from repro.verify.oracle import EagerOracle, trace_oracle
 from repro.verify.stats import (
     TestResult,
@@ -52,6 +53,7 @@ __all__ = [
     "DynamicCheck",
     "EagerOracle",
     "EquivalenceReport",
+    "LinkpredCheck",
     "TestResult",
     "VariantCheck",
     "VerifySpec",
@@ -60,6 +62,7 @@ __all__ = [
     "check_distribution_equivalence",
     "check_dynamic_equivalence",
     "check_invariants",
+    "check_linkpred_equivalence",
     "check_serving_equivalence",
     "chi2_homogeneity",
     "chi2_sf",

@@ -450,11 +450,13 @@ def builtin_specs() -> dict[str, VerifySpec]:
     from repro.algorithms.asgcn import asgcn_layer
     from repro.algorithms.fastgcn import fastgcn_layer
     from repro.algorithms.graphsage import graphsage_layer
+    from repro.algorithms.labor import labor_layer
     from repro.algorithms.ladies import ladies_layer
     from repro.algorithms.vrgcn import vrgcn_layer
 
     return {
         "graphsage": VerifySpec("graphsage", graphsage_layer, {"K": 4}),
+        "labor": VerifySpec("labor", labor_layer, {"K": 4}),
         "ladies": VerifySpec("ladies", ladies_layer, {"K": 10}),
         "fastgcn": VerifySpec("fastgcn", fastgcn_layer, {"K": 10}),
         "asgcn": VerifySpec(

@@ -17,7 +17,8 @@ class TestListing:
         assert main(["algorithms"]) == 0
         out = capsys.readouterr().out
         assert "ladies" in out and "graphsage" in out
-        assert len(out.strip().splitlines()) == 15
+        assert "labor" in out
+        assert len(out.strip().splitlines()) == 16
 
     def test_systems(self, capsys):
         assert main(["systems"]) == 0

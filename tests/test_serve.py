@@ -122,6 +122,136 @@ class TestWorkload:
             generate_workload(
                 WorkloadSpec(seeds_per_request=64), num_nodes=32
             )
+        with pytest.raises(ServeError):
+            WorkloadSpec(task="lunar")
+
+    def test_seed_payload_validation(self):
+        from repro.serve.workload import as_seed_units
+
+        good = np.array([3, 1, 4], dtype=np.int64)
+        assert as_seed_units(good) is good
+        with pytest.raises(ServeError):
+            as_seed_units(np.array([], dtype=np.int64))  # empty
+        with pytest.raises(ServeError):
+            as_seed_units(np.array([[1, 2]], dtype=np.int64))  # 2-D
+        with pytest.raises(ServeError):
+            as_seed_units(np.array([1, 2], dtype=np.int32))  # wrong dtype
+
+    def test_single_node_graph(self):
+        spec = WorkloadSpec(
+            num_requests=8, arrival_rate=1000.0, seeds_per_request=1
+        )
+        requests = generate_workload(spec, num_nodes=1)
+        for r in requests:
+            np.testing.assert_array_equal(r.seeds, [0])
+
+    def test_max_seeds_equal_to_min_is_valid_and_homogeneous(self):
+        spec = WorkloadSpec(
+            num_requests=32, arrival_rate=1000.0, seeds_per_request=4,
+            max_seeds_per_request=4,
+        )
+        requests = generate_workload(spec, num_nodes=100)
+        assert {len(r.seeds) for r in requests} == {4}
+
+    def test_zero_skew_workload_is_uniformish(self):
+        spec = WorkloadSpec(
+            num_requests=400, arrival_rate=1000.0, seeds_per_request=4,
+            skew=0.0, seed=5,
+        )
+        requests = generate_workload(spec, num_nodes=100)
+        seeds = np.concatenate([r.seeds for r in requests])
+        # Uniform draws put ~20% of mass in any 20-id band.
+        hot_share = np.mean(seeds >= 80)
+        assert 0.1 < hot_share < 0.3
+
+
+# ----------------------------------------------------------------------
+# Link-prediction workloads
+# ----------------------------------------------------------------------
+class TestLinkpredWorkload:
+    def _edges(self, pd):
+        from repro.tasks import edge_endpoints_of
+
+        return edge_endpoints_of(pd.graph)
+
+    def test_requires_edges(self):
+        spec = WorkloadSpec(num_requests=4, task="linkpred")
+        with pytest.raises(ServeError):
+            generate_workload(spec, num_nodes=100)
+
+    def test_pair_payload_contract(self, pd):
+        from repro.tasks import edge_keys
+
+        src, dst = self._edges(pd)
+        live = np.sort(edge_keys(src, dst, pd.num_nodes))
+        spec = WorkloadSpec(
+            num_requests=32, arrival_rate=1000.0, seeds_per_request=4,
+            task="linkpred", seed=11,
+        )
+        requests = generate_workload(
+            spec, num_nodes=pd.num_nodes, edges=(src, dst)
+        )
+        for r in requests:
+            assert r.seeds.dtype == np.int64
+            assert len(r.seeds) == 16  # 4 pos + 4 neg pairs, flattened
+            pairs = r.pairs
+            assert pairs.shape == (8, 2)
+            keys = edge_keys(pairs[:, 0], pairs[:, 1], pd.num_nodes)
+            idx = np.minimum(np.searchsorted(live, keys), len(live) - 1)
+            is_live = live[idx] == keys
+            # First half positive (live edges), second half forged
+            # non-edges — the replica-side compaction relies on this.
+            assert is_live[:4].all()
+            assert not is_live[4:].any()
+
+    def test_same_spec_same_pair_stream(self, pd):
+        src, dst = self._edges(pd)
+        spec = WorkloadSpec(
+            num_requests=16, arrival_rate=1000.0, task="linkpred", seed=2
+        )
+        a = generate_workload(spec, num_nodes=pd.num_nodes, edges=(src, dst))
+        b = generate_workload(spec, num_nodes=pd.num_nodes, edges=(src, dst))
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x.seeds, y.seeds)
+
+    def test_cluster_session_deterministic_and_reports_pairs(self, pd):
+        from repro.serve import run_cluster_session
+
+        def run():
+            _, report = run_cluster_session(
+                pd,
+                device=V100,
+                spec=WorkloadSpec(
+                    num_requests=48, arrival_rate=20000.0, task="linkpred",
+                    seed=3,
+                ),
+                task="linkpred",
+                seed=3,
+            )
+            return report
+
+        a, b = run(), run()
+        assert a.fingerprint() == b.fingerprint()
+        assert a.task == "linkpred"
+        assert a.pairs_served == 48 * 8 * 2
+        assert a.compaction_saved_rows > 0
+        metrics = a.to_metrics()
+        assert metrics["pairs_served"] == float(a.pairs_served)
+
+    def test_node_task_metrics_schema_unchanged(self, pd):
+        from repro.serve import run_cluster_session
+
+        _, report = run_cluster_session(
+            pd,
+            device=V100,
+            spec=WorkloadSpec(num_requests=32, arrival_rate=20000.0),
+            seed=0,
+        )
+        assert report.task == "node"
+        metrics = report.to_metrics()
+        # Pair-task keys must never leak into the committed node lanes.
+        assert "pairs_served" not in metrics
+        assert "compaction_saved_rows" not in metrics
 
 
 # ----------------------------------------------------------------------
